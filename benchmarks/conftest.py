@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced-but-representative scale, prints the reproduced rows/series (run
+pytest with ``-s`` to see them) and attaches the headline values to
+``benchmark.extra_info`` so they appear in pytest-benchmark's JSON output.
+
+The heavy lifting happens once per benchmark (``pedantic`` with one round);
+the numbers of interest are simulated durations, not wall-clock timings, so
+repeating the run would only repeat identical work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+
+def run_once(benchmark, func: Callable[[], object]):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once():
+    """Fixture wrapping :func:`run_once` for terser benchmark bodies."""
+    return run_once

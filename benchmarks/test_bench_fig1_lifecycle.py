@@ -1,0 +1,26 @@
+"""Fig. 1 — the Groundhog container life cycle.
+
+Regenerates the phase durations of one container: environment
+instantiation (100s of ms), runtime initialisation, data initialisation
+(the dummy warm-up), the one-time snapshot, per-request function processing
+and the between-requests Groundhog restoration (milliseconds).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_lifecycle
+from repro.analysis.tables import render_table
+from repro.workloads import find_benchmark
+
+
+def test_fig1_container_lifecycle(benchmark, bench_once):
+    phases = bench_once(benchmark, lambda: run_lifecycle(find_benchmark("md2html", "p").profile))
+
+    rows = [[name, f"{seconds * 1000:.2f}"] for name, seconds in phases.items()]
+    print()
+    print(render_table(["phase", "duration (ms)"], rows, title="Fig. 1 — container life cycle"))
+
+    benchmark.extra_info.update({k: round(v * 1000, 3) for k, v in phases.items()})
+    # The shape the figure conveys: initialisation dwarfs restoration.
+    assert phases["environment_instantiation_seconds"] > 0.1
+    assert phases["gh_restoration_seconds"] < 0.05

@@ -1,0 +1,75 @@
+"""Fig. 3 — microbenchmark latency sweeps.
+
+Left panel: latency vs the percentage of dirtied pages (fixed mapped size).
+Right panel: latency vs address-space size (fixed write set).
+Solid lines = low load (in-function overheads only); dashed lines = high
+load (restoration included).  Configurations: BASE, GH, GH-NOP, FORK.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig3_dirty_sweep, run_fig3_size_sweep
+from repro.analysis.tables import render_table
+
+#: Reduced-scale sweep parameters (the paper uses 100 K mapped pages and
+#: 150 requests per point; pass larger values to the drivers to match).
+MAPPED_PAGES = 20_000
+DIRTY_FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+SIZES = (1_000, 5_000, 10_000, 20_000, 40_000)
+FIXED_DIRTIED = 1_000
+
+
+def _print_sweep(title, low, high):
+    configs = low.names()
+    headers = ["x"] + [f"{c} (low)" for c in configs] + [f"{c} (high)" for c in configs]
+    rows = []
+    for index, x in enumerate(low.get(configs[0]).x):
+        row = [f"{x:.0f}"]
+        row += [f"{low.get(c).y[index] * 1000:.2f}" for c in configs]
+        row += [f"{high.get(c).y[index] * 1000:.2f}" for c in configs]
+        rows.append(row)
+    print()
+    print(render_table(headers, rows, title=title + " (latencies in ms)"))
+
+
+def test_fig3_left_dirtied_pages_sweep(benchmark, bench_once):
+    low, high = bench_once(
+        benchmark,
+        lambda: run_fig3_dirty_sweep(
+            mapped_pages=MAPPED_PAGES, dirty_fractions=DIRTY_FRACTIONS, invocations=3
+        ),
+    )
+    _print_sweep("Fig. 3 (left) — latency vs dirtied pages", low, high)
+
+    # Shape checks from the paper: GH's in-function overhead grows with the
+    # write set, FORK grows faster, GH-NOP tracks the baseline, and the
+    # high-load (restoration-inclusive) GH latency grows further.
+    gh_growth = low.get("gh").y[-1] - low.get("gh").y[0]
+    fork_growth = low.get("fork").y[-1] - low.get("fork").y[0]
+    base_growth = low.get("base").y[-1] - low.get("base").y[0]
+    assert gh_growth > base_growth
+    assert fork_growth > gh_growth
+    assert high.get("gh").y[-1] > low.get("gh").y[-1]
+    benchmark.extra_info["gh_low_ms_at_100pct"] = round(low.get("gh").y[-1] * 1000, 3)
+    benchmark.extra_info["gh_high_ms_at_100pct"] = round(high.get("gh").y[-1] * 1000, 3)
+
+
+def test_fig3_right_address_space_sweep(benchmark, bench_once):
+    low, high = bench_once(
+        benchmark,
+        lambda: run_fig3_size_sweep(
+            sizes=SIZES, dirtied_pages=FIXED_DIRTIED, invocations=3
+        ),
+    )
+    _print_sweep("Fig. 3 (right) — latency vs address-space size", low, high)
+
+    # Shape checks: GH's in-function overhead is flat w.r.t. address-space
+    # size, its restoration grows with it (pagemap scan), and FORK's
+    # in-function cost grows with it (cold TLB on every mapped page).
+    gh_low = low.get("gh")
+    assert abs(gh_low.y[-1] - gh_low.y[0]) < 0.3 * gh_low.y[0]
+    assert high.get("gh").y[-1] > high.get("gh").y[0]
+    assert low.get("fork").slope() > low.get("gh").slope()
+    benchmark.extra_info["gh_restore_growth_ms"] = round(
+        (high.get("gh").y[-1] - high.get("gh").y[0]) * 1000, 3
+    )

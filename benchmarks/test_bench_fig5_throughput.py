@@ -1,0 +1,41 @@
+"""Fig. 5 — relative throughput for all 58 benchmarks.
+
+Regenerates the saturated-throughput comparison of GH-NOP, GH and FORK
+against BASE on a 4-core / 4-container deployment, plus the headline
+throughput-reduction distribution (paper: median 2.5 %, 95p 49.6 %).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import headline_summary, run_latency_suite, run_throughput_suite
+from repro.analysis.report import throughput_table
+from repro.analysis.stats import summarize_overheads
+from repro.workloads import all_benchmarks
+
+ROUNDS = 5
+
+
+def test_fig5_relative_throughput_all_benchmarks(benchmark, bench_once):
+    result = bench_once(
+        benchmark,
+        lambda: run_throughput_suite(all_benchmarks(), rounds=ROUNDS),
+    )
+    print()
+    print(throughput_table(result))
+
+    ratios = result.relative_throughput("gh")
+    reductions = [(1.0 - ratio) * 100.0 for ratio in ratios.values()]
+    summary = summarize_overheads(reductions)
+    print()
+    print(summary.describe("GH throughput reduction"))
+
+    benchmark.extra_info["gh_throughput_reduction_median_pct"] = round(summary.median_percent, 2)
+    benchmark.extra_info["gh_throughput_reduction_p95_pct"] = round(summary.p95_percent, 2)
+
+    # Shape: most benchmarks lose little throughput under GH; the heaviest
+    # Node.js functions lose the most (the paper's 95th percentile is ~50 %).
+    assert summary.median_percent < 15.0
+    assert summary.maximum_percent < 95.0
+    node_ratios = [ratio for name, ratio in ratios.items() if name.endswith("(n)")]
+    other_ratios = [ratio for name, ratio in ratios.items() if not name.endswith("(n)")]
+    assert min(node_ratios) < min(other_ratios) + 0.05

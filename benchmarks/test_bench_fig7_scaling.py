@@ -1,0 +1,45 @@
+"""Fig. 7 — throughput scaling with the number of cores.
+
+For the 14 representative benchmarks, measures absolute throughput of BASE,
+GH-NOP and GH with 1-4 cores (one container per core).  The paper's finding:
+scaling is nearly linear for every configuration, because each core runs an
+independent container with its own Groundhog manager.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_scaling
+from repro.analysis.tables import render_table
+from repro.workloads import representative_benchmarks
+
+CORES = (1, 2, 3, 4)
+ROUNDS = 4
+
+
+def test_fig7_throughput_scaling_with_cores(benchmark, bench_once):
+    sweeps = bench_once(
+        benchmark,
+        lambda: run_scaling(representative_benchmarks(), cores=CORES, rounds=ROUNDS),
+    )
+    headers = ["benchmark"] + [f"gh @{c} cores" for c in CORES] + ["base @4", "gh-nop @4"]
+    rows = []
+    for name, sweep in sweeps.items():
+        gh = sweep.get("gh")
+        row = [name] + [f"{gh.y_at(float(c)):.1f}" for c in CORES]
+        row.append(f"{sweep.get('base').y_at(4.0):.1f}")
+        row.append(f"{sweep.get('gh-nop').y_at(4.0):.1f}")
+        rows.append(row)
+    print()
+    print(render_table(headers, rows, title="Fig. 7 — throughput (req/s) vs cores"))
+
+    # Shape: throughput never decreases with more cores and is near-linear
+    # (4 cores deliver well over 2.5x the single-core throughput).
+    speedups = []
+    for name, sweep in sweeps.items():
+        for config in ("base", "gh"):
+            series = sweep.get(config)
+            assert series.is_nondecreasing, f"{name}/{config} throughput regressed with cores"
+            speedups.append(series.y_at(4.0) / max(series.y_at(1.0), 1e-9))
+    median_speedup = sorted(speedups)[len(speedups) // 2]
+    benchmark.extra_info["median_4core_speedup"] = round(median_speedup, 2)
+    assert median_speedup > 2.5

@@ -1,0 +1,55 @@
+"""Table 1 — absolute latency and throughput for every configuration.
+
+Regenerates, for the 14 representative benchmarks (run the latency and
+throughput suite drivers over ``all_benchmarks()`` for the full 58-row
+table), the absolute end-to-end latency, invoker latency and peak throughput
+of BASE, GH-NOP, GH, FORK and FAASM.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_latency_suite, run_throughput_suite
+from repro.analysis.tables import format_rate, format_seconds, render_table
+from repro.workloads import representative_benchmarks
+
+INVOCATIONS = 8
+ROUNDS = 5
+
+
+def _merged_results():
+    benchmarks = representative_benchmarks()
+    latency = run_latency_suite(benchmarks, invocations=INVOCATIONS)
+    throughput = run_throughput_suite(benchmarks, rounds=ROUNDS)
+    return latency.merge(throughput)
+
+
+def test_table1_absolute_measurements(benchmark, bench_once):
+    result = bench_once(benchmark, _merged_results)
+
+    headers = ["benchmark", "config", "E2E lat (ms)", "Inv lat (ms)", "T'put (req/s)"]
+    rows = []
+    for name in result.benchmarks():
+        for config in result.configs():
+            if not result.has(name, config):
+                continue
+            record = result.record(name, config)
+            rows.append([
+                name,
+                config,
+                format_seconds(record.e2e.median if record.e2e else None),
+                format_seconds(record.invoker.median if record.invoker else None),
+                format_rate(record.throughput_rps),
+            ])
+    print()
+    print(render_table(headers, rows, title="Table 1 — absolute latency and throughput"))
+
+    # Sanity anchors against the paper's Table 1 (order of magnitude):
+    # ocr-img (n) baseline invoker latency ~2.5 s, get-time (p) ~3 ms.
+    ocr_base = result.record("ocr-img (n)", "base")
+    get_time_base = result.record("get-time (p)", "base")
+    assert 1.5 < ocr_base.invoker.median < 4.0
+    assert get_time_base.invoker.median < 0.02
+    benchmark.extra_info["ocr_img_base_invoker_s"] = round(ocr_base.invoker.median, 3)
+    benchmark.extra_info["get_time_base_invoker_ms"] = round(
+        get_time_base.invoker.median * 1000, 3
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A multi-tenant web API served by FaaS functions with per-caller credentials.
+
+Scenario (the paper's motivating setting, §1-§2): a tenant deploys a few
+functions behind an HTTP endpoint; the functions are invoked on behalf of
+many *end users* with different privileges.  Bugs in the functions or their
+runtimes may retain one user's data in process memory, and with warm
+container reuse the next user can end up seeing it.
+
+The example deploys three FaaSProfiler-style functions (a JSON API, a
+markdown renderer and a sentiment-analysis endpoint) under Groundhog, drives
+them with a stream of requests from rotating users, and then audits:
+
+* that every response was produced by a warm, reused container (no
+  per-request cold starts), and
+* that no response ever carried residue from a different user's request.
+
+Run with::
+
+    python examples/multi_tenant_web_api.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import ActionSpec, FaaSPlatform, SimulationConfig, find_benchmark
+
+USERS = ["alice", "bob", "carol", "dave"]
+REQUESTS_PER_ACTION = 12
+
+
+def build_platform(mechanism: str) -> FaaSPlatform:
+    """Deploy the three API endpoints under the given isolation mechanism."""
+    platform = FaaSPlatform(SimulationConfig(cores=2, containers_per_action=1))
+    for name, language in (("json", "p"), ("md2html", "p"), ("sentiment", "p")):
+        spec = find_benchmark(name, language)
+        platform.deploy(ActionSpec.for_profile(spec.profile, mechanism))
+    return platform
+
+
+def drive(platform: FaaSPlatform) -> dict:
+    """Send a stream of per-user requests and collect leak/latency evidence."""
+    leaks = 0
+    latencies = defaultdict(list)
+    for action in ("json", "md2html", "sentiment"):
+        for index in range(REQUESTS_PER_ACTION):
+            user = USERS[index % len(USERS)]
+            secret = f"{user}-session-token-{index:03d}".encode()
+            invocation = platform.invoke_sync(action, secret, caller=user)
+            latencies[action].append(invocation.e2e_seconds * 1000)
+            residual = bytes(invocation.response["residual"])
+            for other in USERS:
+                if other != user and other.encode() in residual:
+                    leaks += 1
+    containers = {
+        action: platform.containers(action)[0].requests_served
+        for action in ("json", "md2html", "sentiment")
+    }
+    return {"leaks": leaks, "latencies": latencies, "containers": containers}
+
+
+def main() -> None:
+    print("Multi-tenant web API with per-caller credentials")
+    print("=" * 64)
+    for mechanism in ("base", "gh"):
+        outcome = drive(build_platform(mechanism))
+        print(f"\nConfiguration: {mechanism}")
+        for action, samples in outcome["latencies"].items():
+            mean = sum(samples) / len(samples)
+            print(f"  {action:10s}: {len(samples)} requests, mean e2e {mean:6.1f} ms, "
+                  f"served by one warm container ({outcome['containers'][action]} reuses)")
+        print(f"  Cross-user leaks observed: {outcome['leaks']}")
+    print("\nWith Groundhog the same warm containers serve every user with zero leaks.")
+
+
+if __name__ == "__main__":
+    main()

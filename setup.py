@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work on environments whose setuptools predates
+PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

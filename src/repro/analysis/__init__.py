@@ -1,0 +1,56 @@
+"""Analysis: statistics, table rendering and experiment drivers."""
+
+from repro.analysis.stats import (
+    relative_overhead_percent,
+    summarize_overheads,
+    OverheadSummary,
+)
+from repro.analysis.tables import render_table, format_seconds, format_percent
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.experiments import (
+    BenchmarkConfigResult,
+    EvaluationResult,
+    measure_latency,
+    measure_restores,
+    measure_throughput,
+    run_breakdown,
+    run_fig3_dirty_sweep,
+    run_fig3_size_sweep,
+    run_latency_suite,
+    run_lifecycle,
+    run_restoration_comparison,
+    run_scaling,
+    run_throughput_suite,
+    run_tracking_ablation,
+    run_skip_rollback_ablation,
+    run_coldstart_comparison,
+    headline_summary,
+)
+
+__all__ = [
+    "relative_overhead_percent",
+    "summarize_overheads",
+    "OverheadSummary",
+    "render_table",
+    "format_seconds",
+    "format_percent",
+    "Series",
+    "SweepResult",
+    "BenchmarkConfigResult",
+    "EvaluationResult",
+    "measure_latency",
+    "measure_restores",
+    "measure_throughput",
+    "run_breakdown",
+    "run_fig3_dirty_sweep",
+    "run_fig3_size_sweep",
+    "run_latency_suite",
+    "run_lifecycle",
+    "run_restoration_comparison",
+    "run_scaling",
+    "run_throughput_suite",
+    "run_tracking_ablation",
+    "run_skip_rollback_ablation",
+    "run_coldstart_comparison",
+    "headline_summary",
+]

@@ -1,0 +1,776 @@
+"""Experiment drivers: one entry point per table and figure in the paper.
+
+Every driver is deterministic (seeded), parameterised so it can be run at
+reduced scale (the defaults used by the test suite and benchmark harness) or
+at paper scale, and returns plain data structures that the benchmark harness
+renders as the corresponding table/figure rows.
+
+Driver map (see DESIGN.md §4):
+
+==========================  =====================================================
+Paper artefact              Driver
+==========================  =====================================================
+Fig. 1 (life cycle)         :func:`run_lifecycle`
+Fig. 3 left (dirty sweep)   :func:`run_fig3_dirty_sweep`
+Fig. 3 right (size sweep)   :func:`run_fig3_size_sweep`
+Fig. 4 (relative latency)   :func:`run_latency_suite`
+Fig. 5 (relative xput)      :func:`run_throughput_suite`
+Fig. 6 (restore GH/FAASM)   :func:`run_restoration_comparison`
+Fig. 7 (core scaling)       :func:`run_scaling`
+Fig. 8 (restore breakdown)  :func:`run_breakdown`
+Table 1 / Table 2           latency + throughput suites, rendered by the benches
+Table 3 (restore vs pages)  :func:`run_latency_suite` restore columns
+§4.3 tracking ablation      :func:`run_tracking_ablation`
+§4.4 skip-rollback          :func:`run_skip_rollback_ablation`
+§3.2 cold-start / CRIU      :func:`run_coldstart_comparison`
+Headline numbers (§1, §5)   :func:`headline_summary`
+==========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.stats import OverheadSummary, relative_overhead_percent, summarize_overheads
+from repro.baselines.registry import create_mechanism, mechanism_class
+from repro.config import SimulationConfig
+from repro.core.restore import RestoreBreakdown
+from repro.faas.action import ActionSpec
+from repro.faas.loadgen import ClosedLoopClient, SaturatingClient
+from repro.faas.metrics import LatencyStats
+from repro.faas.platform import FaaSPlatform
+from repro.runtime.profiles import FunctionProfile, Language
+from repro.workloads.microbench import microbenchmark_profile
+from repro.workloads.registry import (
+    all_benchmarks,
+    fork_compatible_benchmarks,
+    representative_benchmarks,
+    wasm_benchmarks,
+)
+from repro.workloads.spec import BenchmarkSpec
+
+#: Configurations compared in the main evaluation (Figs. 4 and 5).
+MAIN_CONFIGS = ("base", "gh-nop", "gh", "fork", "faasm")
+#: Configurations used by the microbenchmark sweeps (Fig. 3).
+MICROBENCH_CONFIGS = ("base", "gh-nop", "gh", "fork")
+
+
+# ---------------------------------------------------------------------------
+# Result containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchmarkConfigResult:
+    """Everything measured for one (benchmark, configuration) pair."""
+
+    benchmark: str
+    suite: str
+    config: str
+    e2e: Optional[LatencyStats] = None
+    invoker: Optional[LatencyStats] = None
+    throughput_rps: Optional[float] = None
+    restore_ms_mean: Optional[float] = None
+    snapshot_ms: Optional[float] = None
+    init_seconds: Optional[float] = None
+    total_kpages: float = 0.0
+    restored_pages_mean: Optional[float] = None
+    dirty_pages_mean: Optional[float] = None
+    faults_mean: Optional[float] = None
+
+
+@dataclass
+class EvaluationResult:
+    """A collection of per-(benchmark, config) measurements."""
+
+    records: List[BenchmarkConfigResult] = field(default_factory=list)
+
+    def add(self, record: BenchmarkConfigResult) -> None:
+        """Append one measurement."""
+        self.records.append(record)
+
+    def merge(self, other: "EvaluationResult") -> "EvaluationResult":
+        """Merge measurements of the same pairs (e.g. latency + throughput)."""
+        index = {(r.benchmark, r.config): r for r in self.records}
+        for record in other.records:
+            key = (record.benchmark, record.config)
+            if key not in index:
+                self.records.append(record)
+                continue
+            mine = index[key]
+            for attr in (
+                "e2e", "invoker", "throughput_rps", "restore_ms_mean", "snapshot_ms",
+                "init_seconds", "restored_pages_mean", "dirty_pages_mean", "faults_mean",
+            ):
+                if getattr(mine, attr) is None and getattr(record, attr) is not None:
+                    setattr(mine, attr, getattr(record, attr))
+        return self
+
+    def benchmarks(self) -> List[str]:
+        """Benchmarks present, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.benchmark not in seen:
+                seen.append(record.benchmark)
+        return seen
+
+    def configs(self) -> List[str]:
+        """Configurations present, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.config not in seen:
+                seen.append(record.config)
+        return seen
+
+    def record(self, benchmark: str, config: str) -> BenchmarkConfigResult:
+        """Look up one measurement."""
+        for candidate in self.records:
+            if candidate.benchmark == benchmark and candidate.config == config:
+                return candidate
+        raise KeyError(f"no record for {benchmark!r} under {config!r}")
+
+    def has(self, benchmark: str, config: str) -> bool:
+        """True if a measurement exists for the pair."""
+        return any(
+            r.benchmark == benchmark and r.config == config for r in self.records
+        )
+
+    # -- derived views ----------------------------------------------------
+
+    def relative_latency(
+        self, config: str, *, metric: str = "e2e", baseline: str = "base"
+    ) -> Dict[str, float]:
+        """Per-benchmark relative latency overhead (%) of ``config`` vs baseline."""
+        overheads: Dict[str, float] = {}
+        for benchmark in self.benchmarks():
+            if not (self.has(benchmark, config) and self.has(benchmark, baseline)):
+                continue
+            target = getattr(self.record(benchmark, config), metric)
+            base = getattr(self.record(benchmark, baseline), metric)
+            if target is None or base is None:
+                continue
+            overheads[benchmark] = relative_overhead_percent(target.median, base.median)
+        return overheads
+
+    def relative_throughput(
+        self, config: str, *, baseline: str = "base"
+    ) -> Dict[str, float]:
+        """Per-benchmark throughput of ``config`` relative to baseline (1.0 = equal)."""
+        ratios: Dict[str, float] = {}
+        for benchmark in self.benchmarks():
+            if not (self.has(benchmark, config) and self.has(benchmark, baseline)):
+                continue
+            target = self.record(benchmark, config).throughput_rps
+            base = self.record(benchmark, baseline).throughput_rps
+            if target is None or base is None or base <= 0:
+                continue
+            ratios[benchmark] = target / base
+        return ratios
+
+
+@dataclass(frozen=True)
+class RestoreMeasurement:
+    """Direct (platform-free) measurement of a mechanism's restore behaviour."""
+
+    benchmark: str
+    config: str
+    restore_ms_mean: float
+    restore_ms_median: float
+    breakdown_mean: Dict[str, float]
+    snapshot_ms: Optional[float]
+    init_seconds: float
+    dirty_pages_mean: float
+    restored_pages_mean: float
+    total_mapped_pages: int
+    in_function_overhead_ms_mean: float
+
+
+@dataclass(frozen=True)
+class BreakdownRecord:
+    """One row of the Fig. 8 restoration-breakdown chart."""
+
+    benchmark: str
+    restore_ms: float
+    fractions: Dict[str, float]
+    snapshot_ms: float
+    total_kpages: float
+    restored_kpages: float
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+
+def _spec_for(spec_or_profile, config: str, **mechanism_options) -> ActionSpec:
+    profile = (
+        spec_or_profile.profile
+        if isinstance(spec_or_profile, BenchmarkSpec)
+        else spec_or_profile
+    )
+    return ActionSpec.for_profile(profile, config, **mechanism_options)
+
+
+def _profile_of(spec_or_profile) -> FunctionProfile:
+    return (
+        spec_or_profile.profile
+        if isinstance(spec_or_profile, BenchmarkSpec)
+        else spec_or_profile
+    )
+
+
+def measure_latency(
+    spec_or_profile,
+    config: str,
+    *,
+    invocations: int = 10,
+    skip_warmup: int = 2,
+    think_time_seconds: float = 0.30,
+    seed: int = 20230501,
+    **mechanism_options,
+) -> BenchmarkConfigResult:
+    """Closed-loop latency measurement (the paper's §5.3 latency setup)."""
+    profile = _profile_of(spec_or_profile)
+    platform = FaaSPlatform(
+        SimulationConfig(cores=1, containers_per_action=1, seed=seed)
+    )
+    action = _spec_for(spec_or_profile, config, **mechanism_options)
+    platform.deploy(action)
+    client = ClosedLoopClient(
+        platform,
+        action.name,
+        num_requests=invocations,
+        think_time_seconds=think_time_seconds,
+    )
+    client.run()
+    metrics = platform.action_metrics(action.name)
+    skip = min(skip_warmup, max(0, invocations - 1))
+    container = platform.containers(action.name)[0]
+    restores = [
+        exe.report.restore
+        for exe in container.executions[skip:]
+        if exe.report.restore is not None
+    ]
+    restore_ms = (
+        sum(r.total_seconds for r in restores) / len(restores) * 1000 if restores else None
+    )
+    restored_pages = (
+        sum(r.pages_restored for r in restores) / len(restores) if restores else None
+    )
+    dirty_pages = (
+        sum(r.dirty_pages for r in restores) / len(restores) if restores else None
+    )
+    faults = [
+        exe.report.result.faults.total for exe in container.executions[skip:]
+    ]
+    init = container.init_report
+    suite = spec_or_profile.suite if isinstance(spec_or_profile, BenchmarkSpec) else profile.suite
+    return BenchmarkConfigResult(
+        benchmark=profile.qualified_name,
+        suite=suite,
+        config=config,
+        e2e=metrics.e2e_stats(skip),
+        invoker=metrics.invoker_stats(skip),
+        restore_ms_mean=restore_ms,
+        snapshot_ms=(init.prepare_seconds * 1000 if init and init.prepare_seconds else None),
+        init_seconds=init.total_seconds if init else None,
+        total_kpages=profile.total_kpages,
+        restored_pages_mean=restored_pages,
+        dirty_pages_mean=dirty_pages,
+        faults_mean=sum(faults) / len(faults) if faults else None,
+    )
+
+
+def measure_throughput(
+    spec_or_profile,
+    config: str,
+    *,
+    cores: int = 4,
+    containers: int = 4,
+    rounds: int = 10,
+    in_flight: Optional[int] = None,
+    seed: int = 20230501,
+    **mechanism_options,
+) -> BenchmarkConfigResult:
+    """Saturated-throughput measurement (the paper's §5.3 throughput setup).
+
+    ``rounds`` approximates how many requests each container should complete
+    inside the measurement window.
+    """
+    profile = _profile_of(spec_or_profile)
+    platform = FaaSPlatform(
+        SimulationConfig(cores=cores, containers_per_action=containers, seed=seed)
+    )
+    action = _spec_for(spec_or_profile, config, **mechanism_options)
+    platform.deploy(action)
+    # Rough per-request container occupancy: execution plus an estimate of
+    # restoration (pagemap scan of the footprint + copy-back of the write
+    # set); used only to size the measurement window.
+    restore_estimate = (
+        profile.total_pages * 0.2e-6 + profile.dirtied_pages * 2.4e-6 + 0.002
+    )
+    per_request_estimate = profile.exec_seconds * 1.4 + restore_estimate + 0.005
+    duration = max(0.5, rounds * per_request_estimate)
+    warmup = min(duration * 0.15, per_request_estimate * 2)
+    if in_flight is None:
+        # Keep enough requests in flight that the controller round-trip never
+        # starves the invoker, even for sub-millisecond functions.
+        in_flight = max(containers * 4, min(256, int(0.2 / max(profile.exec_seconds, 0.002))))
+    client = SaturatingClient(
+        platform,
+        action.name,
+        in_flight=in_flight,
+        duration_seconds=duration,
+        warmup_seconds=warmup,
+    )
+    throughput = client.run()
+    suite = spec_or_profile.suite if isinstance(spec_or_profile, BenchmarkSpec) else profile.suite
+    return BenchmarkConfigResult(
+        benchmark=profile.qualified_name,
+        suite=suite,
+        config=config,
+        throughput_rps=throughput,
+        total_kpages=profile.total_kpages,
+    )
+
+
+def measure_restores(
+    spec_or_profile,
+    config: str = "gh",
+    *,
+    invocations: int = 5,
+    seed: int = 11,
+    verify: bool = False,
+    **mechanism_options,
+) -> RestoreMeasurement:
+    """Direct per-invocation restore measurement (no platform in the way)."""
+    profile = _profile_of(spec_or_profile)
+    mechanism = create_mechanism(
+        config, profile, rng=random.Random(seed), **mechanism_options
+    )
+    init = mechanism.initialize()
+    restores = []
+    breakdowns: List[RestoreBreakdown] = []
+    overheads_ms = []
+    for index in range(invocations):
+        report = mechanism.invoke(
+            request_id=f"restore-probe-{index}", caller=f"caller-{index}", verify=verify
+        )
+        overheads_ms.append((report.pre_seconds + report.relay_seconds
+                             + report.result.fault_seconds) * 1000)
+        if report.restore is not None:
+            restores.append(report.restore)
+            breakdowns.append(report.restore.breakdown)
+    restore_totals = [r.total_seconds * 1000 for r in restores]
+    ordered = sorted(restore_totals)
+    breakdown_mean: Dict[str, float] = {}
+    if breakdowns:
+        for step in RestoreBreakdown.STEP_ORDER:
+            breakdown_mean[step] = sum(getattr(b, step) for b in breakdowns) / len(breakdowns)
+    snapshot_ms = init.prepare_seconds * 1000 if init.prepare_seconds else None
+    return RestoreMeasurement(
+        benchmark=profile.qualified_name,
+        config=config,
+        restore_ms_mean=sum(restore_totals) / len(restore_totals) if restore_totals else 0.0,
+        restore_ms_median=ordered[len(ordered) // 2] if ordered else 0.0,
+        breakdown_mean=breakdown_mean,
+        snapshot_ms=snapshot_ms,
+        init_seconds=init.total_seconds,
+        dirty_pages_mean=(
+            sum(r.dirty_pages for r in restores) / len(restores) if restores else 0.0
+        ),
+        restored_pages_mean=(
+            sum(r.pages_restored for r in restores) / len(restores) if restores else 0.0
+        ),
+        total_mapped_pages=init.mapped_pages,
+        in_function_overhead_ms_mean=sum(overheads_ms) / len(overheads_ms),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — container life cycle
+# ---------------------------------------------------------------------------
+
+
+def run_lifecycle(profile: Optional[FunctionProfile] = None) -> Dict[str, float]:
+    """Reproduce the Fig. 1 life-cycle phases for one container (seconds)."""
+    if profile is None:
+        profile = microbenchmark_profile(4000, 400, name="lifecycle")
+    mechanism = create_mechanism("gh", profile, rng=random.Random(5))
+    init = mechanism.initialize()
+    report = mechanism.invoke(request_id="lifecycle-probe", caller="alice")
+    restore_seconds = report.restore.total_seconds if report.restore else 0.0
+    return {
+        "environment_instantiation_seconds": init.container_create_seconds,
+        "runtime_initialization_seconds": init.boot_seconds,
+        "data_initialization_seconds": init.warm_seconds,
+        "snapshot_seconds": init.prepare_seconds,
+        "function_processing_seconds": report.critical_seconds,
+        "gh_restoration_seconds": restore_seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — microbenchmark sweeps
+# ---------------------------------------------------------------------------
+
+
+def _microbench_point(
+    mapped_pages: int,
+    dirtied_pages: int,
+    config: str,
+    invocations: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """Mean (low-load latency, high-load latency) for one sweep point.
+
+    One extra warm-up invocation is issued and discarded, mirroring the
+    paper's measurement methodology (first-run effects such as the initial
+    soft-dirty faults after the snapshot are not representative of the
+    steady state).
+    """
+    profile = microbenchmark_profile(mapped_pages, dirtied_pages)
+    mechanism = create_mechanism(config, profile, rng=random.Random(seed))
+    mechanism.initialize()
+    mechanism.invoke(request_id="mb-warmup", caller="warmup")
+    low, high = [], []
+    for index in range(invocations):
+        report = mechanism.invoke(request_id=f"mb-{index}", caller=f"c{index}")
+        low.append(report.critical_seconds)
+        high.append(report.critical_seconds + report.post_seconds)
+    return sum(low) / len(low), sum(high) / len(high)
+
+
+def run_fig3_dirty_sweep(
+    *,
+    mapped_pages: int = 20_000,
+    dirty_fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    configs: Sequence[str] = MICROBENCH_CONFIGS,
+    invocations: int = 3,
+    seed: int = 17,
+) -> Tuple[SweepResult, SweepResult]:
+    """Fig. 3 (left): latency vs the percentage of dirtied pages.
+
+    Returns ``(low_load, high_load)`` sweeps; the paper's solid lines are the
+    low-load (in-function only) numbers and the dashed lines add restoration.
+    """
+    low_sweep = SweepResult(x_label="dirtied pages (%)", y_label="latency (s)")
+    high_sweep = SweepResult(x_label="dirtied pages (%)", y_label="latency (s)")
+    for config in configs:
+        low_points, high_points = [], []
+        for fraction in dirty_fractions:
+            dirtied = int(mapped_pages * fraction)
+            low, high = _microbench_point(mapped_pages, dirtied, config, invocations, seed)
+            low_points.append((fraction * 100.0, low))
+            high_points.append((fraction * 100.0, high))
+        low_sweep.add(Series.from_points(config, low_points))
+        high_sweep.add(Series.from_points(config, high_points))
+    return low_sweep, high_sweep
+
+
+def run_fig3_size_sweep(
+    *,
+    sizes: Sequence[int] = (1_000, 5_000, 10_000, 20_000, 40_000),
+    dirtied_pages: int = 1_000,
+    configs: Sequence[str] = MICROBENCH_CONFIGS,
+    invocations: int = 3,
+    seed: int = 19,
+) -> Tuple[SweepResult, SweepResult]:
+    """Fig. 3 (right): latency vs address-space size with a fixed write set."""
+    low_sweep = SweepResult(x_label="address space (pages)", y_label="latency (s)")
+    high_sweep = SweepResult(x_label="address space (pages)", y_label="latency (s)")
+    for config in configs:
+        low_points, high_points = [], []
+        for size in sizes:
+            low, high = _microbench_point(size, min(dirtied_pages, size), config,
+                                          invocations, seed)
+            low_points.append((float(size), low))
+            high_points.append((float(size), high))
+        low_sweep.add(Series.from_points(config, low_points))
+        high_sweep.add(Series.from_points(config, high_points))
+    return low_sweep, high_sweep
+
+
+# ---------------------------------------------------------------------------
+# Figs. 4 & 5, Tables 1-3 — the benchmark suites
+# ---------------------------------------------------------------------------
+
+
+def _applicable(config: str, spec: BenchmarkSpec) -> bool:
+    return mechanism_class(config).supports(spec.profile)
+
+
+def run_latency_suite(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    configs: Sequence[str] = MAIN_CONFIGS,
+    invocations: int = 10,
+    seed: int = 20230501,
+) -> EvaluationResult:
+    """Closed-loop latency for every (benchmark, config) pair (Fig. 4)."""
+    if benchmarks is None:
+        benchmarks = all_benchmarks()
+    result = EvaluationResult()
+    for spec in benchmarks:
+        for config in configs:
+            if not _applicable(config, spec):
+                continue
+            result.add(
+                measure_latency(spec, config, invocations=invocations, seed=seed)
+            )
+    return result
+
+
+def run_throughput_suite(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    configs: Sequence[str] = ("base", "gh-nop", "gh", "fork"),
+    cores: int = 4,
+    containers: int = 4,
+    rounds: int = 10,
+    seed: int = 20230501,
+) -> EvaluationResult:
+    """Saturated throughput for every (benchmark, config) pair (Fig. 5)."""
+    if benchmarks is None:
+        benchmarks = all_benchmarks()
+    result = EvaluationResult()
+    for spec in benchmarks:
+        for config in configs:
+            if not _applicable(config, spec):
+                continue
+            result.add(
+                measure_throughput(
+                    spec, config, cores=cores, containers=containers,
+                    rounds=rounds, seed=seed,
+                )
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — restoration duration: GH vs FAASM
+# ---------------------------------------------------------------------------
+
+
+def run_restoration_comparison(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    configs: Sequence[str] = ("gh", "faasm"),
+    invocations: int = 5,
+) -> Dict[str, Dict[str, float]]:
+    """Mean restoration duration (ms) per benchmark for GH and FAASM."""
+    if benchmarks is None:
+        benchmarks = wasm_benchmarks()
+    durations: Dict[str, Dict[str, float]] = {config: {} for config in configs}
+    for spec in benchmarks:
+        for config in configs:
+            if not _applicable(config, spec):
+                continue
+            measurement = measure_restores(spec, config, invocations=invocations)
+            durations[config][spec.qualified_name] = measurement.restore_ms_mean
+    return durations
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — throughput scaling with cores
+# ---------------------------------------------------------------------------
+
+
+def run_scaling(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    configs: Sequence[str] = ("base", "gh-nop", "gh"),
+    cores: Sequence[int] = (1, 2, 3, 4),
+    rounds: int = 5,
+    seed: int = 20230501,
+) -> Dict[str, SweepResult]:
+    """Absolute throughput as a function of the number of cores."""
+    if benchmarks is None:
+        benchmarks = representative_benchmarks()
+    sweeps: Dict[str, SweepResult] = {}
+    for spec in benchmarks:
+        sweep = SweepResult(x_label="cores", y_label="throughput (req/s)")
+        for config in configs:
+            if not _applicable(config, spec):
+                continue
+            points = []
+            for core_count in cores:
+                record = measure_throughput(
+                    spec, config, cores=core_count, containers=core_count,
+                    rounds=rounds, seed=seed,
+                )
+                points.append((float(core_count), record.throughput_rps or 0.0))
+            sweep.add(Series.from_points(config, points))
+        sweeps[spec.qualified_name] = sweep
+    return sweeps
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — restoration breakdown + snapshot cost
+# ---------------------------------------------------------------------------
+
+
+def run_breakdown(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    invocations: int = 5,
+) -> List[BreakdownRecord]:
+    """Deconstructed restoration cost for the representative benchmarks."""
+    if benchmarks is None:
+        benchmarks = representative_benchmarks()
+    records = []
+    for spec in benchmarks:
+        measurement = measure_restores(spec, "gh", invocations=invocations)
+        total_ms = measurement.restore_ms_mean
+        fractions = {
+            step: (value * 1000 / total_ms if total_ms > 0 else 0.0)
+            for step, value in measurement.breakdown_mean.items()
+        }
+        records.append(
+            BreakdownRecord(
+                benchmark=spec.qualified_name,
+                restore_ms=total_ms,
+                fractions=fractions,
+                snapshot_ms=measurement.snapshot_ms or 0.0,
+                total_kpages=measurement.total_mapped_pages / 1000.0,
+                restored_kpages=measurement.restored_pages_mean / 1000.0,
+            )
+        )
+    records.sort(key=lambda r: r.restore_ms, reverse=True)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def run_tracking_ablation(
+    *,
+    mapped_pages: int = 10_000,
+    dirty_fractions: Sequence[float] = (0.0, 0.01, 0.1, 0.3, 0.6),
+    invocations: int = 3,
+) -> SweepResult:
+    """§4.3: soft-dirty vs userfaultfd tracking, total per-request overhead.
+
+    The y value is in-function overhead + restoration time (ms); the paper's
+    finding is that UFFD only wins when the write set is nearly empty.
+    """
+    sweep = SweepResult(x_label="dirtied pages (%)", y_label="tracking + restore (ms)")
+    for tracker in ("soft-dirty", "uffd"):
+        points = []
+        for fraction in dirty_fractions:
+            dirtied = int(mapped_pages * fraction)
+            profile = microbenchmark_profile(mapped_pages, dirtied)
+            mechanism = create_mechanism(
+                "gh", profile, rng=random.Random(3), tracker=tracker
+            )
+            mechanism.initialize()
+            totals = []
+            for index in range(invocations):
+                report = mechanism.invoke(request_id=f"abl-{index}", caller=f"c{index}")
+                overhead = report.result.fault_seconds + report.post_seconds
+                totals.append(overhead * 1000)
+            points.append((fraction * 100.0, sum(totals) / len(totals)))
+        sweep.add(Series.from_points(tracker, points))
+    return sweep
+
+
+def run_skip_rollback_ablation(
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    invocations: int = 10,
+    callers: Sequence[str] = ("alice", "alice", "alice", "bob"),
+) -> Dict[str, float]:
+    """§4.4: skipping rollback between mutually trusting consecutive callers.
+
+    Returns the mean per-request restoration work (whether it happened after
+    the response or, for the deferred variant, on the arrival of a request
+    from a different caller) with and without the optimisation, for the same
+    caller sequence.
+    """
+    if spec is None:
+        spec = representative_benchmarks()[-1]
+    results: Dict[str, float] = {}
+    for label, skip in (("always-restore", False), ("skip-same-caller", True)):
+        mechanism = create_mechanism(
+            "gh", spec.profile, rng=random.Random(29),
+            skip_rollback_for_same_caller=skip,
+        )
+        mechanism.initialize()
+        isolation_work = []
+        for index in range(invocations):
+            caller = callers[index % len(callers)]
+            report = mechanism.invoke(request_id=f"skip-{index}", caller=caller)
+            isolation_work.append(report.post_seconds + report.pre_seconds)
+        results[label] = sum(isolation_work) / len(isolation_work)
+    return results
+
+
+def run_coldstart_comparison(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    configs: Sequence[str] = ("gh", "faasm", "cold", "criu"),
+    invocations: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """§3.2: per-request isolation turnaround of GH vs cold-start/CRIU designs.
+
+    Returns, per configuration and benchmark, the mean time the container is
+    unavailable between requests (seconds) — the quantity that makes fresh
+    containers and CRIU-style restores impractical.
+    """
+    if benchmarks is None:
+        benchmarks = [
+            spec for spec in representative_benchmarks()
+            if spec.profile.language is not Language.NODE
+        ][:4]
+    turnaround: Dict[str, Dict[str, float]] = {config: {} for config in configs}
+    for spec in benchmarks:
+        for config in configs:
+            if not _applicable(config, spec):
+                continue
+            mechanism = create_mechanism(config, spec.profile, rng=random.Random(41))
+            mechanism.initialize()
+            posts = []
+            for index in range(invocations):
+                report = mechanism.invoke(request_id=f"cs-{index}", caller=f"c{index}")
+                posts.append(report.post_seconds)
+            turnaround[config][spec.qualified_name] = sum(posts) / len(posts)
+    return turnaround
+
+
+# ---------------------------------------------------------------------------
+# Headline numbers
+# ---------------------------------------------------------------------------
+
+
+def headline_summary(
+    latency: EvaluationResult,
+    throughput: Optional[EvaluationResult] = None,
+    *,
+    config: str = "gh",
+    baseline: str = "base",
+) -> Dict[str, OverheadSummary]:
+    """Compute the paper's headline distributions for one configuration.
+
+    Returns summaries for end-to-end latency overhead, invoker latency
+    overhead and (when a throughput evaluation is supplied) throughput
+    reduction, each across all benchmarks measured under both ``config`` and
+    ``baseline``.
+    """
+    summary: Dict[str, OverheadSummary] = {}
+    e2e = latency.relative_latency(config, metric="e2e", baseline=baseline)
+    if e2e:
+        summary["e2e_latency_overhead"] = summarize_overheads(list(e2e.values()))
+    invoker = latency.relative_latency(config, metric="invoker", baseline=baseline)
+    if invoker:
+        summary["invoker_latency_overhead"] = summarize_overheads(list(invoker.values()))
+    if throughput is not None:
+        ratios = throughput.relative_throughput(config, baseline=baseline)
+        if ratios:
+            reductions = [(1.0 - ratio) * 100.0 for ratio in ratios.values()]
+            summary["throughput_reduction"] = summarize_overheads(reductions)
+    return summary

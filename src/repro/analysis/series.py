@@ -1,0 +1,70 @@
+"""Figure data series: the x/y data behind the paper's plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of a figure: x values and y values."""
+
+    name: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+
+    @classmethod
+    def from_points(cls, name: str, points: Sequence[Tuple[float, float]]) -> "Series":
+        """Build a series from (x, y) pairs."""
+        xs = tuple(p[0] for p in points)
+        ys = tuple(p[1] for p in points)
+        return cls(name=name, x=xs, y=ys)
+
+    def y_at(self, x_value: float) -> float:
+        """Return the y value at an exact x value."""
+        for xv, yv in zip(self.x, self.y):
+            if xv == x_value:
+                return yv
+        raise KeyError(f"series {self.name!r} has no point at x={x_value}")
+
+    @property
+    def is_nondecreasing(self) -> bool:
+        """True if y never decreases with x (used to check scaling trends)."""
+        return all(b >= a - 1e-12 for a, b in zip(self.y, self.y[1:]))
+
+    def slope(self) -> float:
+        """Least-squares slope of y over x (trend direction checks)."""
+        n = len(self.x)
+        if n < 2:
+            return 0.0
+        mean_x = sum(self.x) / n
+        mean_y = sum(self.y) / n
+        num = sum((xv - mean_x) * (yv - mean_y) for xv, yv in zip(self.x, self.y))
+        den = sum((xv - mean_x) ** 2 for xv in self.x)
+        return num / den if den else 0.0
+
+
+@dataclass
+class SweepResult:
+    """A family of series sharing the same x axis (one figure panel)."""
+
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def add(self, series: Series) -> None:
+        """Add one line to the panel."""
+        self.series[series.name] = series
+
+    def names(self) -> List[str]:
+        """Names of all lines."""
+        return list(self.series)
+
+    def get(self, name: str) -> Series:
+        """Return a line by name."""
+        return self.series[name]

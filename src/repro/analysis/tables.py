@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_seconds(seconds: Optional[float], unit: str = "ms") -> str:
+    """Format a duration for table output."""
+    if seconds is None:
+        return "-"
+    if unit == "ms":
+        return f"{seconds * 1000:.2f}"
+    if unit == "us":
+        return f"{seconds * 1e6:.1f}"
+    if unit == "s":
+        return f"{seconds:.3f}"
+    raise ValueError(f"unknown unit {unit!r}")
+
+
+def format_percent(value: Optional[float], signed: bool = True) -> str:
+    """Format a percentage for table output."""
+    if value is None:
+        return "-"
+    return f"{value:+.1f}%" if signed else f"{value:.1f}%"
+
+
+def format_rate(value: Optional[float]) -> str:
+    """Format a requests/second rate."""
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Comparison systems: the insecure baseline and alternative isolation designs."""
+
+from repro.baselines.warm import WarmReuseBaseline
+from repro.baselines.forkiso import ForkIsolation
+from repro.baselines.faasm import FaasmIsolation
+from repro.baselines.coldstart import ColdStartIsolation
+from repro.baselines.criu import CriuIsolation
+from repro.baselines.registry import MECHANISMS, create_mechanism, mechanism_class
+
+__all__ = [
+    "WarmReuseBaseline",
+    "ForkIsolation",
+    "FaasmIsolation",
+    "ColdStartIsolation",
+    "CriuIsolation",
+    "MECHANISMS",
+    "create_mechanism",
+    "mechanism_class",
+]

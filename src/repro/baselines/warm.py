@@ -1,0 +1,20 @@
+"""BASE: insecure warm-container reuse (the paper's baseline).
+
+The container and runtime are reused across requests with no rollback of any
+kind — the configuration every production FaaS platform runs today and the
+one Groundhog is measured against.  It is fast, and it leaks: whatever a
+request left in the process's memory is still there when the next request
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import IsolationMechanism
+
+
+class WarmReuseBaseline(IsolationMechanism):
+    """Unmodified warm reuse: no tracking, no interposition, no restore."""
+
+    name = "base"
+    provides_isolation = False
+    interposes = False

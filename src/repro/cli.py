@@ -1,0 +1,143 @@
+"""Command-line interface for the Groundhog reproduction.
+
+Usage (after installing the package)::
+
+    python -m repro.cli list-benchmarks [--suite SUITE]
+    python -m repro.cli demo-leak [--benchmark NAME] [--language p|c|n]
+    python -m repro.cli restore-stats --benchmark NAME [--language p|c|n]
+    python -m repro.cli lifecycle [--benchmark NAME] [--language p|c|n]
+
+The heavier experiment drivers (full latency/throughput suites, sweeps,
+ablations) are exposed through the benchmark harness under ``benchmarks/``;
+this CLI covers the quick, interactive entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import measure_restores, run_lifecycle
+from repro.analysis.tables import render_table
+from repro.baselines.registry import create_mechanism
+from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
+
+
+def _spec_from_args(args: argparse.Namespace):
+    return find_benchmark(args.benchmark, args.language)
+
+
+def cmd_list_benchmarks(args: argparse.Namespace) -> int:
+    """Print the benchmark inventory."""
+    specs = benchmarks_by_suite(args.suite) if args.suite else all_benchmarks()
+    rows = [
+        [
+            spec.qualified_name,
+            spec.suite,
+            f"{spec.profile.exec_seconds * 1000:.1f}",
+            f"{spec.profile.total_kpages:.2f}",
+            f"{spec.profile.dirtied_kpages:.2f}",
+        ]
+        for spec in specs
+    ]
+    print(render_table(
+        ["benchmark", "suite", "exec (ms)", "mapped (Kpages)", "dirtied (Kpages)"],
+        rows,
+        title=f"{len(rows)} benchmarks",
+    ))
+    return 0
+
+
+def cmd_demo_leak(args: argparse.Namespace) -> int:
+    """Show the leak under warm reuse and its absence under Groundhog."""
+    spec = _spec_from_args(args)
+    rows = []
+    for config in ("base", "gh"):
+        mechanism = create_mechanism(config, spec.profile, rng=random.Random(1))
+        mechanism.initialize()
+        mechanism.invoke(b"alice-secret-document", "r1", caller="alice")
+        second = mechanism.invoke(b"bob-request", "r2", caller="bob")
+        leaked = b"alice-secret" in second.result.residual
+        rows.append([config, "YES" if leaked else "no",
+                     f"{second.critical_seconds * 1000:.2f}",
+                     f"{second.post_seconds * 1000:.2f}"])
+    print(render_table(
+        ["config", "alice's data visible to bob", "critical path (ms)", "post-request work (ms)"],
+        rows,
+        title=f"Sequential request isolation on {spec.qualified_name}",
+    ))
+    return 0
+
+
+def cmd_restore_stats(args: argparse.Namespace) -> int:
+    """Print snapshot/restore statistics for one benchmark under Groundhog."""
+    spec = _spec_from_args(args)
+    measurement = measure_restores(spec, "gh", invocations=args.invocations)
+    rows = [
+        ["mean restoration (ms)", f"{measurement.restore_ms_mean:.2f}"],
+        ["median restoration (ms)", f"{measurement.restore_ms_median:.2f}"],
+        ["one-time snapshot (ms)", f"{measurement.snapshot_ms:.1f}"],
+        ["container initialisation (s)", f"{measurement.init_seconds:.3f}"],
+        ["mapped pages", f"{measurement.total_mapped_pages}"],
+        ["pages restored per request", f"{measurement.restored_pages_mean:.0f}"],
+        ["in-function overhead per request (ms)", f"{measurement.in_function_overhead_ms_mean:.3f}"],
+    ]
+    if spec.paper.restore_ms is not None:
+        rows.append(["paper-reported restoration (ms)", f"{spec.paper.restore_ms:.2f}"])
+    print(render_table(["metric", "value"], rows,
+                       title=f"Groundhog restore statistics — {spec.qualified_name}"))
+    return 0
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Print the Fig. 1 life-cycle phases for one benchmark."""
+    spec = _spec_from_args(args)
+    phases = run_lifecycle(spec.profile)
+    rows = [[name, f"{seconds * 1000:.2f}"] for name, seconds in phases.items()]
+    print(render_table(["phase", "duration (ms)"], rows,
+                       title=f"Container life cycle — {spec.qualified_name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Groundhog (EuroSys 2023) reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-benchmarks", help="list the 58 benchmarks")
+    list_parser.add_argument("--suite", choices=("pyperformance", "polybench", "faasprofiler"),
+                             default=None)
+    list_parser.set_defaults(func=cmd_list_benchmarks)
+
+    def add_benchmark_args(p: argparse.ArgumentParser, default: str = "md2html") -> None:
+        p.add_argument("--benchmark", default=default)
+        p.add_argument("--language", choices=("p", "c", "n"), default=None)
+
+    demo_parser = subparsers.add_parser("demo-leak", help="show the leak and its fix")
+    add_benchmark_args(demo_parser)
+    demo_parser.set_defaults(func=cmd_demo_leak)
+
+    restore_parser = subparsers.add_parser("restore-stats", help="snapshot/restore statistics")
+    add_benchmark_args(restore_parser, default="pyaes")
+    restore_parser.add_argument("--invocations", type=int, default=5)
+    restore_parser.set_defaults(func=cmd_restore_stats)
+
+    lifecycle_parser = subparsers.add_parser("lifecycle", help="Fig. 1 life-cycle phases")
+    add_benchmark_args(lifecycle_parser)
+    lifecycle_parser.set_defaults(func=cmd_lifecycle)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Global configuration for the Groundhog reproduction.
+
+The simulation is fully deterministic and parameterised by a small set of
+constants collected here.  Values that influence *timing* live in
+:mod:`repro.sim.costs`; this module holds structural constants (page size,
+default limits) and the top-level :class:`SimulationConfig` used to build a
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: Size of a simulated page in bytes.  Matches the x86-64 base page size the
+#: paper's soft-dirty tracking operates on.
+PAGE_SIZE = 4096
+
+#: Number of bytes in one KiB / MiB, used for readability in profiles.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: OpenWhisk's default per-function memory limit used in the paper (§5.1).
+DEFAULT_MEMORY_LIMIT_BYTES = 2 * 1024 * MIB
+
+#: OpenWhisk's default function timeout used in the paper (§5.1): 5 minutes.
+DEFAULT_TIMEOUT_SECONDS = 300.0
+
+#: Default number of invoker cores in the latency experiments (§5.3).
+DEFAULT_LATENCY_CORES = 1
+
+#: Default number of invoker cores in the throughput experiments (§5.3).
+DEFAULT_THROUGHPUT_CORES = 4
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level knobs for building a simulated FaaS deployment.
+
+    Parameters
+    ----------
+    cores:
+        Number of invoker cores (each core hosts at most one running
+        container at a time, as in the paper's deployment).
+    containers_per_action:
+        Number of warm containers kept per deployed action.
+    memory_limit_bytes:
+        Per-container memory limit (OpenWhisk ``--memory``).
+    timeout_seconds:
+        Per-invocation timeout.
+    platform_overhead_seconds:
+        Fixed FaaS-platform latency added to every end-to-end request
+        (controller, load balancer, HTTP hops).  The paper's end-to-end
+        numbers include ~25-35 ms of such overhead on top of the invoker
+        latency.
+    platform_jitter_seconds:
+        Standard deviation of the platform overhead noise.
+    seed:
+        Seed for all deterministic RNG streams.
+    """
+
+    cores: int = DEFAULT_LATENCY_CORES
+    containers_per_action: int = 1
+    memory_limit_bytes: int = DEFAULT_MEMORY_LIMIT_BYTES
+    timeout_seconds: float = DEFAULT_TIMEOUT_SECONDS
+    platform_overhead_seconds: float = 0.026
+    platform_jitter_seconds: float = 0.004
+    seed: int = 20230501
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.containers_per_action < 1:
+            raise ValueError("containers_per_action must be >= 1")
+        if self.memory_limit_bytes < PAGE_SIZE:
+            raise ValueError("memory_limit_bytes must hold at least one page")
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        if self.platform_overhead_seconds < 0:
+            raise ValueError("platform_overhead_seconds must be >= 0")
+        if self.platform_jitter_seconds < 0:
+            raise ValueError("platform_jitter_seconds must be >= 0")
+
+    def with_cores(self, cores: int) -> "SimulationConfig":
+        """Return a copy of this config with a different core count."""
+        return replace(self, cores=cores)
+
+    def with_containers(self, containers_per_action: int) -> "SimulationConfig":
+        """Return a copy with a different warm-container count per action."""
+        return replace(self, containers_per_action=containers_per_action)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """Return a copy with a different RNG seed."""
+        return replace(self, seed=seed)
+
+
+#: Configuration matching the paper's latency experiments: a 4-core VM with a
+#: single function container pinned to one core (§5.3 "Latency").
+LATENCY_CONFIG = SimulationConfig(cores=1, containers_per_action=1)
+
+#: Configuration matching the paper's throughput experiments: a 4-core VM with
+#: 4 function containers and a saturating client (§5.3 "Measuring Throughput").
+THROUGHPUT_CONFIG = SimulationConfig(cores=4, containers_per_action=4)
+
+
+def pages_for_bytes(num_bytes: int) -> int:
+    """Return the number of pages needed to back ``num_bytes`` of memory."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    return (num_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def bytes_for_pages(num_pages: int) -> int:
+    """Return the byte size of ``num_pages`` pages."""
+    if num_pages < 0:
+        raise ValueError("num_pages must be non-negative")
+    return num_pages * PAGE_SIZE

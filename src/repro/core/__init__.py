@@ -1,0 +1,34 @@
+"""Groundhog core: write-set tracking, snapshot, restore, manager, policies."""
+
+from repro.core.tracking import SoftDirtyTracker, UffdWriteTracker, WriteSetTracker
+from repro.core.snapshot import ProcessSnapshot, Snapshotter, SnapshotStats
+from repro.core.syscalls import build_restore_plan
+from repro.core.restore import RestoreBreakdown, RestoreResult, Restorer
+from repro.core.manager import GroundhogManager, ManagerState
+from repro.core.policy import (
+    InitReport,
+    InvokeReport,
+    IsolationMechanism,
+    GroundhogMechanism,
+    GroundhogNopMechanism,
+)
+
+__all__ = [
+    "WriteSetTracker",
+    "SoftDirtyTracker",
+    "UffdWriteTracker",
+    "ProcessSnapshot",
+    "Snapshotter",
+    "SnapshotStats",
+    "build_restore_plan",
+    "RestoreBreakdown",
+    "RestoreResult",
+    "Restorer",
+    "GroundhogManager",
+    "ManagerState",
+    "InitReport",
+    "InvokeReport",
+    "IsolationMechanism",
+    "GroundhogMechanism",
+    "GroundhogNopMechanism",
+]

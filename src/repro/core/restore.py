@@ -1,0 +1,338 @@
+"""Restoring the function process to its snapshot (§4.4).
+
+After the function has returned its response, the Groundhog manager rolls
+the process back to the clean snapshot.  The steps — and therefore the
+components of the restoration-time breakdown in Fig. 8 — are:
+
+1. **interrupting** every thread of the function process,
+2. **reading maps** to learn the current memory layout,
+3. **scanning page metadata** (the pagemap soft-dirty bits) to find the
+   pages written during the invocation,
+4. **diffing memory layouts** between the snapshot and the current state,
+5. reversing layout changes by injecting **brk / mmap / munmap / mprotect**
+   syscalls,
+6. dropping stray resident pages with **madvise(MADV_DONTNEED)**,
+7. **restoring memory**: writing back the snapshot contents of every dirty
+   page (and of pages in regions that had to be re-mapped),
+8. **restoring registers** of every thread,
+9. **clearing soft-dirty bits** so tracking is armed for the next request,
+10. **detaching** and letting the process run again.
+
+The restorer works exclusively through the ptrace/procfs interfaces, so all
+reported durations are derived from the work it actually performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import PAGE_SIZE
+from repro.errors import RestoreError
+from repro.core.snapshot import ProcessSnapshot
+from repro.core.syscalls import build_restore_plan, madvise_calls_for_pages, summarize_plan
+from repro.core.tracking import SoftDirtyTracker, WriteSetTracker
+from repro.mem.layout import diff_layouts
+from repro.proc.procfs import ProcFs
+from repro.proc.ptrace import InjectedSyscall, Ptrace
+
+
+@dataclass(frozen=True)
+class RestoreBreakdown:
+    """Per-step durations of one restoration (the Fig. 8 components)."""
+
+    interrupting: float = 0.0
+    reading_maps: float = 0.0
+    scanning_page_metadata: float = 0.0
+    diffing_memory_layouts: float = 0.0
+    brk: float = 0.0
+    mmap: float = 0.0
+    munmap: float = 0.0
+    madvise: float = 0.0
+    mprotect: float = 0.0
+    restoring_memory: float = 0.0
+    clearing_soft_dirty: float = 0.0
+    restoring_registers: float = 0.0
+    detaching: float = 0.0
+
+    #: Display order used by reports, matching the paper's legend.
+    STEP_ORDER = (
+        "interrupting",
+        "reading_maps",
+        "scanning_page_metadata",
+        "diffing_memory_layouts",
+        "brk",
+        "mmap",
+        "munmap",
+        "madvise",
+        "mprotect",
+        "restoring_memory",
+        "clearing_soft_dirty",
+        "restoring_registers",
+        "detaching",
+    )
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end restoration duration."""
+        return sum(getattr(self, step) for step in self.STEP_ORDER)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the per-step durations in display order."""
+        return {step: getattr(self, step) for step in self.STEP_ORDER}
+
+    def fractions(self) -> Dict[str, float]:
+        """Return each step as a fraction of the total (Fig. 8's bars)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {step: 0.0 for step in self.STEP_ORDER}
+        return {step: getattr(self, step) / total for step in self.STEP_ORDER}
+
+
+@dataclass(frozen=True)
+class RestoreResult:
+    """Outcome of one restoration."""
+
+    breakdown: RestoreBreakdown
+    #: Pages whose metadata was scanned (the whole mapped address space).
+    pages_scanned: int
+    #: Pages reported dirty by the tracker.
+    dirty_pages: int
+    #: Pages whose contents were written back from the snapshot.
+    pages_restored: int
+    #: Stray resident pages dropped with madvise.
+    pages_dropped: int
+    #: Number of injected syscalls per name.
+    syscalls: Dict[str, int]
+    #: True if post-restore verification ran and passed.
+    verified: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end restoration duration."""
+        return self.breakdown.total_seconds
+
+
+class Restorer:
+    """Rolls a function process back to its clean snapshot."""
+
+    def __init__(
+        self,
+        ptrace: Ptrace,
+        procfs: ProcFs,
+        tracker: Optional[WriteSetTracker] = None,
+    ) -> None:
+        self._ptrace = ptrace
+        self._procfs = procfs
+        self._tracker = tracker if tracker is not None else SoftDirtyTracker(procfs)
+
+    @property
+    def tracker(self) -> WriteSetTracker:
+        """The write-set tracker in use."""
+        return self._tracker
+
+    def restore(self, snapshot: ProcessSnapshot, *, verify: bool = False) -> RestoreResult:
+        """Restore the process to ``snapshot`` and return the timing result.
+
+        With ``verify=True`` the restorer walks the entire snapshot after
+        restoring and raises :class:`~repro.errors.RestoreError` if any page
+        content, mapping, register or the program break deviates from the
+        snapshot — the property Groundhog's security argument rests on.
+        """
+        process = self._procfs.process
+        space = process.address_space
+        cm = process.cost_model
+
+        # (1) Interrupt every thread.
+        if not self._ptrace.attached:
+            self._ptrace.seize()
+        interrupting = self._ptrace.interrupt_all()
+
+        # (2) Current memory layout.
+        current_layout, reading_maps = self._procfs.read_maps()
+
+        # (3) Write set of the finished invocation.
+        collection = self._tracker.collect()
+        scanning = collection.collect_seconds
+        dirty_pages = collection.dirty_pages
+
+        # (4) Layout differences to reverse.
+        diff = diff_layouts(snapshot.layout, current_layout)
+        diffing = diff.compared_vmas * cm.layout_diff_per_vma_seconds
+        brk_before_restore = current_layout.brk
+
+        # (5) Inject syscalls reversing the layout changes.
+        plan = build_restore_plan(diff)
+        syscall_costs: Dict[str, float] = {"brk": 0.0, "mmap": 0.0, "munmap": 0.0,
+                                           "mprotect": 0.0, "madvise_dontneed": 0.0}
+        for call in plan:
+            cost = self._ptrace.inject_syscall(call)
+            syscall_costs[call.name] = syscall_costs.get(call.name, 0.0) + cost
+
+        # (6) Drop stray resident pages (newly paged during the invocation)
+        # so the resident set matches the snapshot.
+        stray_pages = self._stray_pages(snapshot, dirty_pages)
+        madvise_plan = madvise_calls_for_pages(stray_pages)
+        for call in madvise_plan:
+            cost = self._ptrace.inject_syscall(call)
+            syscall_costs["madvise_dontneed"] += cost
+        pages_dropped = len(stray_pages)
+
+        # (7) Write back the snapshot contents of the write set and of any
+        # pages living in regions the plan had to re-create.
+        pages_to_restore = self._pages_to_restore(
+            snapshot, dirty_pages, plan, brk_before_restore
+        )
+        for page_number in pages_to_restore:
+            space.kernel_write_page(page_number, snapshot.pages[page_number])
+        restoring_memory = self._memory_restore_cost(
+            cm, len(pages_to_restore), snapshot.num_pages
+        )
+
+        # (8) Registers of every thread.
+        restoring_registers = self._ptrace.set_registers(dict(snapshot.registers))
+
+        # (9) Re-arm tracking for the next request.
+        clearing = self._tracker.arm()
+
+        # (10) Resume and detach.
+        detaching = self._ptrace.resume_all() + self._ptrace.detach()
+
+        breakdown = RestoreBreakdown(
+            interrupting=interrupting,
+            reading_maps=reading_maps,
+            scanning_page_metadata=scanning,
+            diffing_memory_layouts=diffing,
+            brk=syscall_costs.get("brk", 0.0),
+            mmap=syscall_costs.get("mmap", 0.0),
+            munmap=syscall_costs.get("munmap", 0.0),
+            madvise=syscall_costs.get("madvise_dontneed", 0.0),
+            mprotect=syscall_costs.get("mprotect", 0.0),
+            restoring_memory=restoring_memory,
+            clearing_soft_dirty=clearing,
+            restoring_registers=restoring_registers,
+            detaching=detaching,
+        )
+
+        verified = False
+        if verify:
+            self.verify(snapshot)
+            verified = True
+
+        return RestoreResult(
+            breakdown=breakdown,
+            pages_scanned=collection.scanned_pages,
+            dirty_pages=len(dirty_pages),
+            pages_restored=len(pages_to_restore),
+            pages_dropped=pages_dropped,
+            syscalls=summarize_plan(plan + madvise_plan),
+            verified=verified,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify(self, snapshot: ProcessSnapshot) -> None:
+        """Check that the process state matches ``snapshot`` exactly."""
+        process = self._procfs.process
+        space = process.address_space
+
+        current_layout = space.layout()
+        if current_layout.records != snapshot.layout.records:
+            raise RestoreError("memory layout differs from the snapshot after restore")
+        if space.brk != snapshot.brk:
+            raise RestoreError(
+                f"program break {space.brk:#x} differs from snapshot {snapshot.brk:#x}"
+            )
+        resident = space.resident_page_numbers()
+        snapshot_pages = set(snapshot.pages)
+        extra = resident - snapshot_pages
+        if extra:
+            raise RestoreError(
+                f"{len(extra)} resident pages not present in the snapshot remain"
+            )
+        for page_number, content in snapshot.pages.items():
+            if space.kernel_read_page(page_number) != content:
+                raise RestoreError(
+                    f"content of page {page_number} differs from the snapshot"
+                )
+        for thread in process.threads:
+            expected = snapshot.registers.get(thread.tid)
+            if expected is not None and thread.get_registers() != expected:
+                raise RestoreError(f"registers of thread {thread.tid} were not restored")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _memory_restore_cost(cm, pages_restored: int, snapshot_pages: int) -> float:
+        """Per-page copy cost, with coalescing once the write set is large.
+
+        When most of the snapshot was dirtied, contiguous runs dominate and
+        Groundhog batches them into larger writes — the slope change at
+        ~60 % dirtied pages in Fig. 3 (left).
+        """
+        if pages_restored <= 0:
+            return 0.0
+        fraction = pages_restored / max(1, snapshot_pages)
+        per_page = (
+            cm.page_copy_coalesced_seconds
+            if fraction >= cm.coalesce_threshold
+            else cm.page_copy_seconds
+        )
+        return pages_restored * per_page
+
+    def _stray_pages(self, snapshot: ProcessSnapshot, dirty_pages: Sequence[int]) -> List[int]:
+        """Pages that became resident during the invocation but are not in the snapshot.
+
+        Any page that gained a frame during the invocation was written to
+        (reads of unmapped pages serve the shared zero page), so strays are
+        always a subset of the write set — which keeps this check
+        proportional to the dirty set rather than the address-space size.
+        Pages already unmapped by the layout-reversal plan are skipped.
+        """
+        space = self._procfs.process.address_space
+        return [
+            p
+            for p in dirty_pages
+            if p not in snapshot.pages and space.page(p) is not None
+        ]
+
+    def _pages_to_restore(
+        self,
+        snapshot: ProcessSnapshot,
+        dirty_pages: Sequence[int],
+        plan: Sequence[InjectedSyscall],
+        brk_before_restore: int,
+    ) -> List[int]:
+        """Snapshot pages whose contents must be written back.
+
+        These are (a) pages the invocation dirtied that exist in the
+        snapshot and (b) snapshot pages living in ranges the plan had to
+        re-create (regions the invocation unmapped, shrunk regions that were
+        re-extended, heap ranges re-grown by ``brk``) — their frames were
+        lost, so their contents must come back from the snapshot.
+        """
+        to_restore: Set[int] = {p for p in dirty_pages if p in snapshot.pages}
+
+        recreated_ranges: List[Tuple[int, int]] = []
+        for call in plan:
+            if call.name == "mmap":
+                address, length = call.args[0], call.args[1]
+                recreated_ranges.append((address // PAGE_SIZE, (address + length) // PAGE_SIZE))
+            elif call.name == "brk":
+                (new_brk,) = call.args
+                # If the invocation shrank the heap, re-growing it back to
+                # the snapshot break re-creates pages whose contents were
+                # dropped; restore everything between the two breaks.
+                if new_brk > brk_before_restore:
+                    recreated_ranges.append(
+                        (brk_before_restore // PAGE_SIZE, new_brk // PAGE_SIZE)
+                    )
+        for first, end in recreated_ranges:
+            for page_number in range(first, end):
+                if page_number in snapshot.pages:
+                    to_restore.add(page_number)
+        return sorted(to_restore)

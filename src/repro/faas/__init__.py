@@ -1,0 +1,28 @@
+"""FaaS platform substrate: an OpenWhisk-like deployment over the simulator."""
+
+from repro.faas.request import Invocation, InvocationStatus
+from repro.faas.action import ActionSpec
+from repro.faas.proxy import ActionLoopProxy
+from repro.faas.container import Container, ContainerState
+from repro.faas.invoker import Invoker
+from repro.faas.controller import Controller
+from repro.faas.platform import FaaSPlatform
+from repro.faas.loadgen import ClosedLoopClient, SaturatingClient
+from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
+
+__all__ = [
+    "Invocation",
+    "InvocationStatus",
+    "ActionSpec",
+    "ActionLoopProxy",
+    "Container",
+    "ContainerState",
+    "Invoker",
+    "Controller",
+    "FaaSPlatform",
+    "ClosedLoopClient",
+    "SaturatingClient",
+    "LatencyStats",
+    "MetricsCollector",
+    "summarize",
+]

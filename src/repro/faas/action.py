@@ -1,0 +1,53 @@
+"""Deployed actions.
+
+An :class:`ActionSpec` is what a tenant deploys: the function (its profile),
+the isolation configuration the platform should run it under, and the dummy
+arguments Groundhog uses for its warm-up request (§4.1 — supplied once per
+deployed function as part of its configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import PlatformError
+from repro.runtime.profiles import FunctionProfile
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """Deployment descriptor of one function."""
+
+    #: Action name used in invocation requests (defaults to the profile name).
+    name: str
+    #: The function's workload profile.
+    profile: FunctionProfile
+    #: Isolation configuration: "base", "gh", "gh-nop", "fork", "faasm", ...
+    mechanism: str = "gh"
+    #: Extra keyword arguments passed to the mechanism constructor
+    #: (e.g. ``{"tracker": "uffd"}`` or ``{"skip_rollback_for_same_caller": True}``).
+    mechanism_options: Dict[str, object] = field(default_factory=dict)
+    #: Dummy arguments used for the snapshot warm-up request.
+    dummy_payload: bytes = b"__warmup__"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("an action must have a name")
+
+    @classmethod
+    def for_profile(
+        cls,
+        profile: FunctionProfile,
+        mechanism: str = "gh",
+        *,
+        name: Optional[str] = None,
+        **mechanism_options: object,
+    ) -> "ActionSpec":
+        """Convenience constructor naming the action after the profile."""
+        return cls(
+            name=name or profile.name,
+            profile=profile,
+            mechanism=mechanism,
+            mechanism_options=dict(mechanism_options),
+        )

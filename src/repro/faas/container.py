@@ -1,0 +1,160 @@
+"""Containers: one warm function instance behind an isolation mechanism.
+
+A :class:`Container` corresponds to one OpenWhisk container instance: it
+hosts exactly one function, serves at most one request at a time (the
+one-at-a-time property Groundhog relies on, §3.1) and, between requests,
+performs whatever post-request work its isolation mechanism requires
+(restoration for GH, nothing for BASE, a full rebuild for cold-start).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ContainerError
+from repro.baselines.registry import create_mechanism
+from repro.core.policy import InitReport, InvokeReport, IsolationMechanism
+from repro.faas.action import ActionSpec
+from repro.faas.proxy import ActionLoopProxy
+from repro.faas.request import Invocation
+from repro.kernel.kernel import SimKernel
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+
+_container_counter = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    """Scheduling state of a container as seen by the invoker."""
+
+    CREATED = "created"
+    INITIALIZING = "initializing"
+    IDLE = "idle"
+    BUSY = "busy"
+    RESTORING = "restoring"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class ContainerExecution:
+    """What executing one invocation in a container produced."""
+
+    report: InvokeReport
+    #: Critical-path time including the invoker-side proxy overhead: this is
+    #: the paper's invoker latency for the request.
+    invoker_seconds: float
+    #: Post-request work that keeps the container unavailable afterwards.
+    unavailable_seconds: float
+
+
+class Container:
+    """One warm container instance for one action."""
+
+    def __init__(
+        self,
+        spec: ActionSpec,
+        *,
+        kernel: Optional[SimKernel] = None,
+        cost_model: Optional[CostModel] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.spec = spec
+        self.container_id = f"{spec.name}-c{next(_container_counter):04d}"
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
+        self.rng = rng if rng is not None else random.Random(11)
+        self.proxy = ActionLoopProxy(self.cost_model)
+        self.mechanism: IsolationMechanism = create_mechanism(
+            spec.mechanism,
+            spec.profile,
+            kernel=self.kernel,
+            cost_model=self.cost_model,
+            rng=self.rng,
+            dummy_payload=spec.dummy_payload,
+            **spec.mechanism_options,
+        )
+        self.state = ContainerState.CREATED
+        self.init_report: Optional[InitReport] = None
+        self.requests_served = 0
+        self.executions: List[ContainerExecution] = []
+        #: Total time spent doing post-request work (restorations etc.).
+        self.post_work_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> InitReport:
+        """Build the container: process, runtime, warm-up, mechanism prep."""
+        if self.state is not ContainerState.CREATED:
+            raise ContainerError(f"{self.container_id}: already initialised")
+        self.state = ContainerState.INITIALIZING
+        self.init_report = self.mechanism.initialize()
+        self.state = ContainerState.IDLE
+        return self.init_report
+
+    def shutdown(self) -> None:
+        """Mark the container dead (the platform reclaims it)."""
+        self.state = ContainerState.DEAD
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        invocation: Invocation,
+        *,
+        verify: bool = False,
+        record: bool = True,
+    ) -> ContainerExecution:
+        """Serve one invocation synchronously.
+
+        The invoker drives the actual timing: ``invoker_seconds`` is how long
+        the container is busy on the request's critical path, and
+        ``unavailable_seconds`` is how long it remains unavailable afterwards
+        while the mechanism does its post-request work.
+        """
+        if self.state is not ContainerState.IDLE:
+            raise ContainerError(
+                f"{self.container_id}: cannot execute while {self.state.value}"
+            )
+        self.state = ContainerState.BUSY
+        try:
+            report = self.mechanism.invoke(
+                invocation.payload,
+                invocation.invocation_id,
+                caller=invocation.caller,
+                verify=verify,
+            )
+        finally:
+            self.state = ContainerState.IDLE
+        proxy_overhead = self.proxy.request_overhead_seconds(
+            len(invocation.payload), report.result.response_bytes
+        )
+        execution = ContainerExecution(
+            report=report,
+            invoker_seconds=report.critical_seconds + proxy_overhead,
+            unavailable_seconds=report.post_seconds,
+        )
+        self.requests_served += 1
+        self.post_work_seconds += report.post_seconds
+        if record:
+            self.executions.append(execution)
+        return execution
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_available(self) -> bool:
+        """True when the invoker may dispatch a request to this container."""
+        return self.state is ContainerState.IDLE
+
+    def read_request_buffer(self) -> bytes:
+        """Probe the function's leak channel (used by tests and examples)."""
+        return self.mechanism.read_request_buffer()

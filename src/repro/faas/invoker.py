@@ -1,0 +1,177 @@
+"""The invoker: the component that hosts containers and runs functions.
+
+Mirrors the OpenWhisk invoker used in the paper's deployment (§5.1): it owns
+the warm container pool of each deployed action, dispatches at most one
+request at a time to each container, and keeps a container out of the pool
+while its isolation mechanism performs post-request work (restoration).
+Each container is pinned to one core; the invoker never runs more containers
+concurrently than it has cores.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ActionNotFoundError, ContainerError, PlatformError
+from repro.faas.action import ActionSpec
+from repro.faas.container import Container, ContainerExecution, ContainerState
+from repro.faas.request import Invocation, InvocationStatus
+from repro.kernel.kernel import SimKernel
+from repro.sim.events import EventLoop
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+
+CompletionCallback = Callable[[Invocation], None]
+
+
+@dataclass
+class _ActionPool:
+    """Warm containers and the waiting queue of one action."""
+
+    spec: ActionSpec
+    containers: List[Container] = field(default_factory=list)
+    idle: Deque[Container] = field(default_factory=deque)
+    queue: Deque[Tuple[Invocation, CompletionCallback, float]] = field(default_factory=deque)
+
+
+class Invoker:
+    """Hosts containers and executes invocations on a fixed number of cores."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        *,
+        cores: int = 1,
+        kernel: Optional[SimKernel] = None,
+        cost_model: Optional[CostModel] = None,
+        rng: Optional[random.Random] = None,
+        verify_isolation: bool = False,
+    ) -> None:
+        if cores < 1:
+            raise PlatformError("an invoker needs at least one core")
+        self.loop = loop
+        self.cores = cores
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
+        self.rng = rng if rng is not None else random.Random(23)
+        self.verify_isolation = verify_isolation
+        self._pools: Dict[str, _ActionPool] = {}
+        self._cores_in_use = 0
+        self.invocations_dispatched = 0
+        self.invocations_completed = 0
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self, spec: ActionSpec, containers: int = 1) -> List[Container]:
+        """Deploy an action with ``containers`` pre-warmed container instances.
+
+        Containers are initialised eagerly, mirroring the paper's setup that
+        deliberately excludes cold starts from the measurements.
+        """
+        if containers < 1:
+            raise PlatformError("an action needs at least one container")
+        if spec.name in self._pools:
+            raise PlatformError(f"action {spec.name!r} is already deployed")
+        pool = _ActionPool(spec=spec)
+        for index in range(containers):
+            container = Container(
+                spec,
+                kernel=self.kernel,
+                cost_model=self.cost_model,
+                rng=random.Random(self.rng.getrandbits(32)),
+            )
+            container.initialize()
+            pool.containers.append(container)
+            pool.idle.append(container)
+        self._pools[spec.name] = pool
+        return list(pool.containers)
+
+    def pool(self, action: str) -> List[Container]:
+        """The containers deployed for ``action``."""
+        return list(self._require_pool(action).containers)
+
+    def action_spec(self, action: str) -> ActionSpec:
+        """The deployment descriptor of ``action``."""
+        return self._require_pool(action).spec
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def submit(self, invocation: Invocation, callback: CompletionCallback) -> None:
+        """Queue or dispatch one invocation."""
+        pool = self._require_pool(invocation.action)
+        invocation.status = InvocationStatus.QUEUED
+        arrival = self.loop.now
+        if pool.idle and self._cores_in_use < self.cores:
+            self._dispatch(pool, invocation, callback, arrival)
+        else:
+            pool.queue.append((invocation, callback, arrival))
+
+    def _dispatch(
+        self,
+        pool: _ActionPool,
+        invocation: Invocation,
+        callback: CompletionCallback,
+        arrival: float,
+    ) -> None:
+        container = pool.idle.popleft()
+        self._cores_in_use += 1
+        now = self.loop.now
+        invocation.dispatched_at = now
+        invocation.queue_seconds = now - arrival
+        invocation.status = InvocationStatus.RUNNING
+        self.invocations_dispatched += 1
+
+        execution = container.execute(invocation, verify=self.verify_isolation)
+        invocation.invoker_seconds = execution.invoker_seconds
+        completion_time = now + execution.invoker_seconds
+        available_time = completion_time + execution.unavailable_seconds
+
+        def complete() -> None:
+            invocation.mark_completed(self.loop.now, execution.report.result.response)
+            self.invocations_completed += 1
+            callback(invocation)
+
+        def release() -> None:
+            self._cores_in_use -= 1
+            pool.idle.append(container)
+            self._drain_queues()
+
+        self.loop.schedule_at(completion_time, complete, label=f"complete:{invocation.invocation_id}")
+        self.loop.schedule_at(available_time, release, label=f"release:{container.container_id}")
+
+    def _drain_queues(self) -> None:
+        """Dispatch queued invocations while cores and containers are free."""
+        progressed = True
+        while progressed and self._cores_in_use < self.cores:
+            progressed = False
+            for pool in self._pools.values():
+                if pool.queue and pool.idle and self._cores_in_use < self.cores:
+                    invocation, callback, arrival = pool.queue.popleft()
+                    self._dispatch(pool, invocation, callback, arrival)
+                    progressed = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cores_in_use(self) -> int:
+        """Cores currently occupied by executing or restoring containers."""
+        return self._cores_in_use
+
+    def queued_invocations(self, action: Optional[str] = None) -> int:
+        """Number of invocations waiting for a container."""
+        if action is not None:
+            return len(self._require_pool(action).queue)
+        return sum(len(pool.queue) for pool in self._pools.values())
+
+    def _require_pool(self, action: str) -> _ActionPool:
+        if action not in self._pools:
+            raise ActionNotFoundError(action)
+        return self._pools[action]

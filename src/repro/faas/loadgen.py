@@ -1,0 +1,155 @@
+"""Load generators for the two workload regimes the paper evaluates.
+
+* :class:`ClosedLoopClient` — the latency setup (§5.3 "Latency"): a single
+  closed-loop client submits requests one at a time, with enough think time
+  for Groundhog to finish restoration before the next request arrives.  The
+  measured latencies therefore only include in-function overheads.
+* :class:`SaturatingClient` — the throughput setup (§5.3 "Measuring
+  Throughput"): a client keeps a large number of requests in flight so the
+  platform is always saturated; restoration time now delays subsequent
+  requests and shows up in throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import PlatformError
+from repro.faas.platform import FaaSPlatform
+from repro.faas.request import Invocation
+
+
+def _default_callers(count: int = 8) -> Callable[[int], str]:
+    """Cycle through ``count`` distinct callers (different security domains)."""
+
+    def caller_for(index: int) -> str:
+        return f"user-{index % count:02d}"
+
+    return caller_for
+
+
+class ClosedLoopClient:
+    """One client issuing requests back to back, optionally with think time."""
+
+    def __init__(
+        self,
+        platform: FaaSPlatform,
+        action: str,
+        *,
+        num_requests: int,
+        think_time_seconds: float = 0.050,
+        payload: Optional[bytes] = None,
+        caller_for: Optional[Callable[[int], str]] = None,
+    ) -> None:
+        if num_requests < 1:
+            raise PlatformError("a closed-loop run needs at least one request")
+        self.platform = platform
+        self.action = action
+        self.num_requests = num_requests
+        self.think_time_seconds = think_time_seconds
+        self.payload = payload
+        self.caller_for = caller_for if caller_for is not None else _default_callers()
+        self.completed: List[Invocation] = []
+
+    def run(self) -> List[Invocation]:
+        """Issue all requests sequentially and return them in order."""
+        issued = 0
+
+        def issue_next() -> None:
+            nonlocal issued
+            if issued >= self.num_requests:
+                return
+            index = issued
+            issued += 1
+            self.platform.invoke_async(
+                self.action,
+                self.payload,
+                caller=self.caller_for(index),
+                on_complete=on_complete,
+            )
+
+        def on_complete(invocation: Invocation) -> None:
+            self.completed.append(invocation)
+            if issued < self.num_requests:
+                self.platform.loop.schedule(self.think_time_seconds, issue_next,
+                                            label="closed-loop next request")
+
+        issue_next()
+        self.platform.run()
+        if len(self.completed) != self.num_requests:
+            raise PlatformError(
+                f"closed-loop run finished {len(self.completed)} of "
+                f"{self.num_requests} requests"
+            )
+        return list(self.completed)
+
+
+class SaturatingClient:
+    """Keeps a fixed number of requests in flight to saturate the platform."""
+
+    def __init__(
+        self,
+        platform: FaaSPlatform,
+        action: str,
+        *,
+        in_flight: int,
+        duration_seconds: float,
+        warmup_seconds: float = 0.0,
+        payload: Optional[bytes] = None,
+        caller_for: Optional[Callable[[int], str]] = None,
+    ) -> None:
+        if in_flight < 1:
+            raise PlatformError("saturating client needs at least one in-flight request")
+        if duration_seconds <= 0:
+            raise PlatformError("duration must be positive")
+        self.platform = platform
+        self.action = action
+        self.in_flight = in_flight
+        self.duration_seconds = duration_seconds
+        self.warmup_seconds = warmup_seconds
+        self.payload = payload
+        self.caller_for = caller_for if caller_for is not None else _default_callers()
+        self.completed: List[Invocation] = []
+        self._issued = 0
+        self._start_time = 0.0
+
+    def run(self) -> float:
+        """Run the saturation experiment; returns sustained throughput (req/s).
+
+        Throughput is measured over the window after ``warmup_seconds`` and
+        up to the configured duration, counting completions in that window.
+        """
+        self._start_time = self.platform.now
+        deadline = self._start_time + self.duration_seconds
+
+        def issue_one() -> None:
+            index = self._issued
+            self._issued += 1
+            self.platform.invoke_async(
+                self.action,
+                self.payload,
+                caller=self.caller_for(index),
+                on_complete=on_complete,
+            )
+
+        def on_complete(invocation: Invocation) -> None:
+            self.completed.append(invocation)
+            if self.platform.now < deadline:
+                issue_one()
+
+        for _ in range(self.in_flight):
+            issue_one()
+        self.platform.run(until=deadline)
+
+        window_start = self._start_time + self.warmup_seconds
+        window_end = deadline
+        in_window = [
+            inv for inv in self.completed
+            if window_start <= inv.completed_at <= window_end
+        ]
+        window = window_end - window_start
+        if window <= 0:
+            raise PlatformError("warmup consumed the whole measurement window")
+        return len(in_window) / window

@@ -1,0 +1,149 @@
+"""Latency and throughput metrics.
+
+The paper reports two latencies per benchmark — the end-to-end latency seen
+by the client and the invoker latency that excludes the rest of the platform
+— plus the peak sustained throughput of a saturated 4-container deployment.
+This module collects per-invocation samples and reduces them to the summary
+statistics the tables and figures need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.faas.request import Invocation, InvocationStatus
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Compute statistics over ``samples`` (must be non-empty)."""
+        if not samples:
+            raise ValueError("cannot summarise an empty sample set")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((x - mean) ** 2 for x in ordered) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            p10=percentile(ordered, 10),
+            p25=percentile(ordered, 25),
+            median=percentile(ordered, 50),
+            p75=percentile(ordered, 75),
+            p90=percentile(ordered, 90),
+            p95=percentile(ordered, 95),
+            maximum=ordered[-1],
+        )
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def percentile(sorted_samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile over already sorted samples."""
+    if not sorted_samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    if pct <= 0:
+        return float(sorted_samples[0])
+    if pct >= 100:
+        return float(sorted_samples[-1])
+    rank = (pct / 100.0) * (len(sorted_samples) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_samples[low])
+    fraction = rank - low
+    value = sorted_samples[low] * (1 - fraction) + sorted_samples[high] * fraction
+    # Clamp against floating-point drift so interpolated percentiles never
+    # fall outside the bracketing samples (which would break monotonicity).
+    return float(min(max(value, sorted_samples[low]), sorted_samples[high]))
+
+
+def summarize(samples: Iterable[float]) -> LatencyStats:
+    """Shorthand for :meth:`LatencyStats.from_samples` over any iterable."""
+    return LatencyStats.from_samples(list(samples))
+
+
+class MetricsCollector:
+    """Collects completed invocations and derives latency/throughput."""
+
+    def __init__(self) -> None:
+        self._completed: List[Invocation] = []
+        self._failed: List[Invocation] = []
+
+    def record(self, invocation: Invocation) -> None:
+        """Record a finished invocation."""
+        if invocation.status is InvocationStatus.COMPLETED:
+            self._completed.append(invocation)
+        else:
+            self._failed.append(invocation)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> List[Invocation]:
+        """All completed invocations in completion order."""
+        return list(self._completed)
+
+    @property
+    def failed(self) -> List[Invocation]:
+        """All failed invocations."""
+        return list(self._failed)
+
+    @property
+    def num_completed(self) -> int:
+        """Number of completed invocations."""
+        return len(self._completed)
+
+    def e2e_latencies(self, skip_warmup: int = 0) -> List[float]:
+        """End-to-end latencies, optionally skipping the first samples."""
+        return [inv.e2e_seconds for inv in self._completed[skip_warmup:]]
+
+    def invoker_latencies(self, skip_warmup: int = 0) -> List[float]:
+        """Invoker latencies, optionally skipping the first samples."""
+        return [inv.invoker_seconds for inv in self._completed[skip_warmup:]]
+
+    def e2e_stats(self, skip_warmup: int = 0) -> LatencyStats:
+        """Summary of end-to-end latencies."""
+        return LatencyStats.from_samples(self.e2e_latencies(skip_warmup))
+
+    def invoker_stats(self, skip_warmup: int = 0) -> LatencyStats:
+        """Summary of invoker latencies."""
+        return LatencyStats.from_samples(self.invoker_latencies(skip_warmup))
+
+    def throughput(self, window_start: float, window_end: float) -> float:
+        """Sustained throughput (requests/second) over a time window."""
+        if window_end <= window_start:
+            raise ValueError("throughput window must have positive length")
+        in_window = [
+            inv
+            for inv in self._completed
+            if window_start <= inv.completed_at <= window_end
+        ]
+        return len(in_window) / (window_end - window_start)

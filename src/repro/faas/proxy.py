@@ -1,0 +1,34 @@
+"""The actionloop proxy.
+
+OpenWhisk's container runtimes put a small HTTP proxy in front of the actual
+function runtime: the invoker talks HTTP to the proxy, the proxy forwards
+requests over stdin and reads responses from stdout (§5.1 "OpenWhisk
+Integration").  Groundhog interposes between this proxy and the runtime.
+
+In the simulation the proxy contributes a fixed per-request invoker-side
+overhead (HTTP handling, JSON framing, scheduling), which is what bounds the
+throughput of very short functions in every configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class ActionLoopProxy:
+    """Per-container proxy between the invoker and the function runtime."""
+
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    requests_proxied: int = 0
+
+    def request_overhead_seconds(self, payload_bytes: int, response_bytes: int) -> float:
+        """Invoker-side overhead of proxying one request and its response."""
+        self.requests_proxied += 1
+        cm = self.cost_model
+        return (
+            cm.invoker_request_overhead_seconds
+            + (payload_bytes + response_bytes) * cm.pipe_copy_per_byte_seconds * 0.25
+        )

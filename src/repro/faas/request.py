@@ -1,0 +1,71 @@
+"""Invocations: the requests flowing through the platform.
+
+An :class:`Invocation` carries the caller identity that motivates sequential
+request isolation in the first place (§2 "Access control"): different
+invocations of the same function may run on behalf of differently privileged
+end-clients, and nothing from one caller's invocation may be visible to the
+next caller's.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_invocation_counter = itertools.count(1)
+
+
+class InvocationStatus(enum.Enum):
+    """Lifecycle of one invocation."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Invocation:
+    """One request to one action."""
+
+    action: str
+    payload: bytes = b""
+    caller: str = "anonymous"
+    invocation_id: str = ""
+    submitted_at: float = 0.0
+    dispatched_at: float = 0.0
+    completed_at: float = 0.0
+    status: InvocationStatus = InvocationStatus.PENDING
+    response: Optional[Dict[str, object]] = None
+    #: Time spent inside the invoker (function execution + mechanism critical
+    #: path), the paper's "invoker latency".
+    invoker_seconds: float = 0.0
+    #: Time spent waiting for a free, clean container.
+    queue_seconds: float = 0.0
+    error: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.invocation_id:
+            self.invocation_id = f"inv-{next(_invocation_counter):08d}"
+
+    @property
+    def e2e_seconds(self) -> float:
+        """End-to-end latency as the client saw it."""
+        if self.status is not InvocationStatus.COMPLETED:
+            return float("nan")
+        return self.completed_at - self.submitted_at
+
+    def mark_completed(self, now: float, response: Dict[str, object]) -> None:
+        """Record completion."""
+        self.completed_at = now
+        self.response = response
+        self.status = InvocationStatus.COMPLETED
+
+    def mark_failed(self, now: float, error: str) -> None:
+        """Record failure."""
+        self.completed_at = now
+        self.error = error
+        self.status = InvocationStatus.FAILED

@@ -1,0 +1,29 @@
+"""Simulated virtual-memory substrate.
+
+This package models the pieces of Linux memory management that Groundhog's
+snapshot/restore mechanism depends on: page-granular mappings (VMAs), lazy
+allocation, copy-on-write sharing, soft-dirty tracking, the ``/proc`` pagemap
+view, and memory-layout diffing.
+"""
+
+from repro.mem.page import Frame, Page, Protection
+from repro.mem.vma import Vma, VmaKind
+from repro.mem.address_space import AddressSpace, MemoryMeter
+from repro.mem.pagemap import PagemapEntry, PagemapView
+from repro.mem.layout import LayoutDiff, MemoryLayout, VmaRecord, diff_layouts
+
+__all__ = [
+    "Frame",
+    "Page",
+    "Protection",
+    "Vma",
+    "VmaKind",
+    "AddressSpace",
+    "MemoryMeter",
+    "PagemapEntry",
+    "PagemapView",
+    "MemoryLayout",
+    "VmaRecord",
+    "LayoutDiff",
+    "diff_layouts",
+]

@@ -1,0 +1,203 @@
+"""Memory-layout snapshots and diffing.
+
+During restoration Groundhog compares the function process's current memory
+layout (from ``/proc/<pid>/maps``) against the layout recorded in the
+snapshot, and reverses every difference by injecting syscalls: added regions
+are ``munmap``-ed, removed regions are ``mmap``-ed back, grown regions are
+trimmed, shrunk regions are re-extended, protection changes are undone with
+``mprotect`` and the program break is restored with ``brk`` (§4.4).
+
+This module provides the immutable :class:`MemoryLayout` record and the
+:func:`diff_layouts` function that computes the list of differences the
+restorer must reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import PAGE_SIZE
+from repro.mem.page import Protection
+from repro.mem.vma import VmaKind
+
+
+@dataclass(frozen=True)
+class VmaRecord:
+    """An immutable record of one VMA, as read from ``maps``."""
+
+    start: int
+    end: int
+    prot: Protection
+    kind: VmaKind = VmaKind.ANON
+    name: str = ""
+
+    @property
+    def length(self) -> int:
+        """Length in bytes."""
+        return self.end - self.start
+
+    @property
+    def num_pages(self) -> int:
+        """Length in pages."""
+        return self.length // PAGE_SIZE
+
+    def pages(self) -> range:
+        """Absolute page numbers covered by this record."""
+        return range(self.start // PAGE_SIZE, self.end // PAGE_SIZE)
+
+    def key(self) -> Tuple[int, str]:
+        """Identity key used to match regions across layouts.
+
+        Regions are matched by their start address and name; growth, shrink
+        and protection changes are then detected by comparing the matched
+        pair.  This mirrors how Groundhog correlates maps lines between the
+        snapshot and the post-invocation state.
+        """
+        return (self.start, self.name)
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """An immutable snapshot of a process's memory layout."""
+
+    records: Tuple[VmaRecord, ...]
+    brk: int
+
+    @property
+    def num_vmas(self) -> int:
+        """Number of mappings in the layout."""
+        return len(self.records)
+
+    @property
+    def total_pages(self) -> int:
+        """Total mapped pages across all records."""
+        return sum(r.num_pages for r in self.records)
+
+    def by_key(self) -> Dict[Tuple[int, str], VmaRecord]:
+        """Index the records by identity key."""
+        return {r.key(): r for r in self.records}
+
+    def find(self, address: int) -> Optional[VmaRecord]:
+        """Return the record containing ``address``, if any."""
+        for record in self.records:
+            if record.start <= address < record.end:
+                return record
+        return None
+
+
+@dataclass(frozen=True)
+class RegionChange:
+    """A matched region whose bounds or protection differ between layouts."""
+
+    snapshot: VmaRecord
+    current: VmaRecord
+
+    @property
+    def grew(self) -> bool:
+        """True if the region is larger now than in the snapshot."""
+        return self.current.length > self.snapshot.length
+
+    @property
+    def shrank(self) -> bool:
+        """True if the region is smaller now than in the snapshot."""
+        return self.current.length < self.snapshot.length
+
+    @property
+    def prot_changed(self) -> bool:
+        """True if the protection differs."""
+        return self.current.prot != self.snapshot.prot
+
+    @property
+    def page_delta(self) -> int:
+        """Pages gained (positive) or lost (negative) relative to the snapshot."""
+        return self.current.num_pages - self.snapshot.num_pages
+
+
+@dataclass(frozen=True)
+class LayoutDiff:
+    """All differences between a snapshot layout and the current layout.
+
+    ``added`` are regions present now but not in the snapshot (must be
+    unmapped); ``removed`` are regions present in the snapshot but gone now
+    (must be mapped back and their contents restored); ``changed`` are
+    matched regions that grew, shrank, or changed protection; ``brk_changed``
+    indicates the program break moved.
+    """
+
+    added: Tuple[VmaRecord, ...]
+    removed: Tuple[VmaRecord, ...]
+    changed: Tuple[RegionChange, ...]
+    snapshot_brk: int
+    current_brk: int
+    compared_vmas: int
+
+    @property
+    def brk_changed(self) -> bool:
+        """True if the program break differs from the snapshot."""
+        return self.snapshot_brk != self.current_brk
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the layouts are identical (nothing to reverse)."""
+        return (
+            not self.added
+            and not self.removed
+            and not self.changed
+            and not self.brk_changed
+        )
+
+    @property
+    def num_operations(self) -> int:
+        """Rough count of syscalls needed to reverse the differences."""
+        ops = len(self.added) + len(self.removed)
+        for change in self.changed:
+            if change.grew or change.shrank:
+                ops += 1
+            if change.prot_changed:
+                ops += 1
+        if self.brk_changed:
+            ops += 1
+        return ops
+
+
+def diff_layouts(snapshot: MemoryLayout, current: MemoryLayout) -> LayoutDiff:
+    """Compute the differences between a snapshot layout and the current one.
+
+    The result describes what must be *reversed* to take ``current`` back to
+    ``snapshot``.
+    """
+    snap_index = snapshot.by_key()
+    curr_index = current.by_key()
+
+    added: List[VmaRecord] = []
+    removed: List[VmaRecord] = []
+    changed: List[RegionChange] = []
+
+    for key, record in curr_index.items():
+        if key not in snap_index:
+            added.append(record)
+    for key, record in snap_index.items():
+        if key not in curr_index:
+            removed.append(record)
+    for key, snap_record in snap_index.items():
+        curr_record = curr_index.get(key)
+        if curr_record is None:
+            continue
+        if (
+            curr_record.end != snap_record.end
+            or curr_record.prot != snap_record.prot
+        ):
+            changed.append(RegionChange(snapshot=snap_record, current=curr_record))
+
+    added.sort(key=lambda r: r.start)
+    removed.sort(key=lambda r: r.start)
+    changed.sort(key=lambda c: c.snapshot.start)
+    return LayoutDiff(
+        added=tuple(added),
+        removed=tuple(removed),
+        changed=tuple(changed),
+        snapshot_brk=snapshot.brk,
+        current_brk=current.brk,
+        compared_vmas=len(snap_index) + len(curr_index),
+    )

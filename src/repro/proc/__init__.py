@@ -1,0 +1,22 @@
+"""Simulated process substrate: threads, registers, /proc, ptrace, fork."""
+
+from repro.proc.registers import RegisterSet
+from repro.proc.thread import SimThread, ThreadState
+from repro.proc.pipes import Pipe, Message
+from repro.proc.process import ProcessState, SimProcess
+from repro.proc.procfs import ProcFs
+from repro.proc.ptrace import Ptrace
+from repro.proc.forkexec import fork_process
+
+__all__ = [
+    "RegisterSet",
+    "SimThread",
+    "ThreadState",
+    "Pipe",
+    "Message",
+    "ProcessState",
+    "SimProcess",
+    "ProcFs",
+    "Ptrace",
+    "fork_process",
+]

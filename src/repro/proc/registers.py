@@ -1,0 +1,97 @@
+"""Per-thread register files.
+
+Groundhog saves every thread's CPU state with ``PTRACE_GETREGS`` when it
+snapshots the function process and writes it back with ``PTRACE_SETREGS``
+during restoration.  The simulated :class:`RegisterSet` keeps the registers
+that matter for the reproduction (instruction/stack pointers and a few
+general-purpose registers) as plain integers so snapshots can be compared
+for equality in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+#: The registers modelled per thread.  A subset of x86-64 is enough: what
+#: matters is that the values change during execution and are restored
+#: exactly during rollback.
+GENERAL_REGISTERS: Tuple[str, ...] = (
+    "rip",
+    "rsp",
+    "rbp",
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+    "eflags",
+)
+
+
+@dataclass(frozen=True)
+class RegisterSet:
+    """An immutable register file for one thread."""
+
+    values: Tuple[Tuple[str, int], ...] = field(
+        default_factory=lambda: tuple((name, 0) for name in GENERAL_REGISTERS)
+    )
+
+    @classmethod
+    def initial(cls, rip: int = 0x400000, rsp: int = 0x7FFF_F000_0000) -> "RegisterSet":
+        """Return a plausible initial register file for a new thread."""
+        values = dict.fromkeys(GENERAL_REGISTERS, 0)
+        values["rip"] = rip
+        values["rsp"] = rsp
+        values["rbp"] = rsp
+        return cls(values=tuple(values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the registers as a mutable dict."""
+        return dict(self.values)
+
+    def get(self, name: str) -> int:
+        """Return the value of register ``name``."""
+        mapping = dict(self.values)
+        if name not in mapping:
+            raise KeyError(f"unknown register {name!r}")
+        return mapping[name]
+
+    def with_updates(self, **updates: int) -> "RegisterSet":
+        """Return a copy with the given registers updated."""
+        mapping = dict(self.values)
+        for name, value in updates.items():
+            if name not in mapping:
+                raise KeyError(f"unknown register {name!r}")
+            mapping[name] = int(value)
+        return RegisterSet(values=tuple(mapping.items()))
+
+    def advanced(self, instructions: int, stack_delta: int = 0) -> "RegisterSet":
+        """Return a copy that looks like execution made progress.
+
+        Used by the runtime models to make register state visibly change
+        during an invocation so restoration has something real to undo.
+        """
+        mapping = dict(self.values)
+        mapping["rip"] = mapping["rip"] + instructions
+        mapping["rsp"] = mapping["rsp"] - stack_delta
+        mapping["rax"] = (mapping["rax"] + instructions * 7919) & 0xFFFFFFFFFFFFFFFF
+        mapping["rcx"] = (mapping["rcx"] + instructions * 104729) & 0xFFFFFFFFFFFFFFFF
+        return RegisterSet(values=tuple(mapping.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterSet):
+            return NotImplemented
+        return dict(self.values) == dict(other.values)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.values)))

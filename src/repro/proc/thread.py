@@ -1,0 +1,72 @@
+"""Simulated threads.
+
+A function process may host a multi-threaded language runtime (Node.js's
+worker and GC threads, CPython's single main thread, native C's main
+thread).  Groundhog must interrupt, snapshot and restore *every* thread —
+the reason a plain ``fork`` cannot capture the state of such processes
+(§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProcessStateError
+from repro.proc.registers import RegisterSet
+
+
+class ThreadState(enum.Enum):
+    """Run state of a simulated thread."""
+
+    RUNNING = "running"
+    STOPPED = "stopped"  # stopped by ptrace
+    EXITED = "exited"
+
+
+@dataclass
+class SimThread:
+    """One thread of a simulated process."""
+
+    tid: int
+    name: str = ""
+    registers: RegisterSet = field(default_factory=RegisterSet.initial)
+    state: ThreadState = ThreadState.RUNNING
+
+    def stop(self) -> None:
+        """Stop the thread (ptrace interrupt)."""
+        if self.state is ThreadState.EXITED:
+            raise ProcessStateError(f"thread {self.tid} has exited")
+        self.state = ThreadState.STOPPED
+
+    def resume(self) -> None:
+        """Resume the thread after a ptrace stop."""
+        if self.state is ThreadState.EXITED:
+            raise ProcessStateError(f"thread {self.tid} has exited")
+        self.state = ThreadState.RUNNING
+
+    def exit(self) -> None:
+        """Mark the thread as exited."""
+        self.state = ThreadState.EXITED
+
+    @property
+    def is_stopped(self) -> bool:
+        """True if the thread is currently ptrace-stopped."""
+        return self.state is ThreadState.STOPPED
+
+    def get_registers(self) -> RegisterSet:
+        """Return the thread's registers (``PTRACE_GETREGS``)."""
+        return self.registers
+
+    def set_registers(self, registers: RegisterSet) -> None:
+        """Overwrite the thread's registers (``PTRACE_SETREGS``)."""
+        self.registers = registers
+
+    def run_instructions(self, instructions: int, stack_delta: int = 0) -> None:
+        """Advance the register file as if the thread executed some code."""
+        if self.state is not ThreadState.RUNNING:
+            raise ProcessStateError(
+                f"thread {self.tid} cannot execute while {self.state.value}"
+            )
+        self.registers = self.registers.advanced(instructions, stack_delta)

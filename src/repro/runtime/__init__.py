@@ -1,0 +1,51 @@
+"""Language-runtime models hosting FaaS functions inside simulated processes."""
+
+from repro.runtime.profiles import FunctionProfile, Language
+from repro.runtime.base import FunctionRuntime, InvocationResult, BootResult
+from repro.runtime.native import NativeRuntime
+from repro.runtime.python_rt import PythonRuntime
+from repro.runtime.node_rt import NodeRuntime
+from repro.runtime.wasm import WasmRuntime, wasm_execution_factor
+
+__all__ = [
+    "FunctionProfile",
+    "Language",
+    "FunctionRuntime",
+    "InvocationResult",
+    "BootResult",
+    "NativeRuntime",
+    "PythonRuntime",
+    "NodeRuntime",
+    "WasmRuntime",
+    "wasm_execution_factor",
+    "build_runtime",
+]
+
+
+def build_runtime(profile, process, rng=None, *, wasm: bool = False):
+    """Construct the appropriate runtime model for ``profile``.
+
+    Parameters
+    ----------
+    profile:
+        The function's :class:`FunctionProfile`.
+    process:
+        The :class:`~repro.proc.process.SimProcess` hosting the runtime.
+    rng:
+        Optional ``random.Random`` used for execution-time jitter.
+    wasm:
+        If true, host the function in the WebAssembly runtime model
+        regardless of language (used by the FAASM baseline).
+    """
+    import random
+
+    rng = rng if rng is not None else random.Random(0)
+    if wasm:
+        return WasmRuntime(profile, process, rng)
+    if profile.language is Language.C:
+        return NativeRuntime(profile, process, rng)
+    if profile.language is Language.PYTHON:
+        return PythonRuntime(profile, process, rng)
+    if profile.language is Language.NODE:
+        return NodeRuntime(profile, process, rng)
+    raise ValueError(f"no runtime model for language {profile.language!r}")

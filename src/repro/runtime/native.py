@@ -1,0 +1,45 @@
+"""Native C runtime model.
+
+PolyBench-style native functions statically allocate essentially all of
+their memory up front, run a single thread, and cause almost no memory
+layout churn: the paper's Table 3 shows ~0.98 K mapped pages and a write
+set of only tens of pages for most PolyBench kernels, which is why their
+restoration takes well under a millisecond.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.base import FunctionRuntime
+from repro.runtime.profiles import FunctionProfile, Language
+
+
+class NativeRuntime(FunctionRuntime):
+    """A statically linked native C function behind the actionloop proxy."""
+
+    language = Language.C
+    runtime_name = "native-c"
+
+    @property
+    def num_threads(self) -> int:
+        """Native benchmark functions are single threaded."""
+        return 1
+
+    def _text_pages(self) -> int:
+        # A small static binary: text does not scale with the data footprint.
+        return min(64, max(8, int(self.profile.total_pages * 0.02)))
+
+    def _data_pages(self) -> int:
+        # Statically allocated arrays dominate: most of the footprint is
+        # mapped (and populated) before main() runs.
+        return max(4, int(self.profile.total_pages * 0.05))
+
+    def _heap_pages(self) -> int:
+        return max(16, int(self.profile.total_pages * 0.05))
+
+    def _arena_vma_count(self) -> int:
+        # libc and the actionloop wrapper map only a couple of extra regions.
+        return 2
+
+    def _init_extra_seconds(self) -> float:
+        # Dynamic-linker plus libc start-up for a small static binary.
+        return 0.002

@@ -1,0 +1,69 @@
+"""Node.js runtime model.
+
+Node.js is the stress case for Groundhog in the paper (§5.3.1):
+
+* the V8 runtime maps a **large** address space (the FaaSProfiler Node
+  functions sit at 150-210 K mapped pages), so pagemap scans and layout
+  diffs during restoration are expensive,
+* the runtime **aggressively maps and remaps memory** during execution, so
+  restoration has real layout changes to reverse with injected syscalls,
+* it is **multi-threaded** (worker pool + GC threads), which rules out the
+  fork baseline, and
+* garbage collection is **time-dependent**: restoration rolls the GC clock
+  back, occasionally triggering extra collections on the next request —
+  most visible on ``img-resize``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.base import FunctionRuntime
+from repro.runtime.profiles import Language
+
+
+class NodeRuntime(FunctionRuntime):
+    """A Node.js (V8) actionloop runtime hosting one JavaScript function."""
+
+    language = Language.NODE
+    runtime_name = "nodejs"
+
+    @property
+    def num_threads(self) -> int:
+        """V8 main thread plus worker/GC threads."""
+        return max(5, self.profile.threads)
+
+    def _text_pages(self) -> int:
+        return max(512, int(self.profile.total_pages * 0.02))
+
+    def _data_pages(self) -> int:
+        return max(128, int(self.profile.total_pages * 0.02))
+
+    def _heap_pages(self) -> int:
+        # V8's new/old spaces; most of the footprint lives in mmap'd arenas.
+        return max(256, int(self.profile.total_pages * 0.10))
+
+    def _arena_vma_count(self) -> int:
+        # V8 maps many separate reservation regions.
+        return 28
+
+    def _stack_pages_per_thread(self) -> int:
+        return 64
+
+    def _init_extra_seconds(self) -> float:
+        # Node start-up, V8 snapshot deserialisation, module loading.
+        return 0.140
+
+    def _gc_pause(self, is_warm: bool) -> float:
+        """Extra GC pause after a restore rolled back the GC clock.
+
+        The probability and magnitude are profile-specific: functions with
+        large dirtied heaps (img-resize, base64) are the ones the paper
+        flags as GC-sensitive.
+        """
+        if is_warm or not self._restored_since_last_invoke:
+            return 0.0
+        profile = self.profile
+        if profile.restore_gc_seconds <= 0.0 or profile.restore_gc_probability <= 0.0:
+            return 0.0
+        if self.rng.random() <= profile.restore_gc_probability:
+            return profile.restore_gc_seconds
+        return 0.0

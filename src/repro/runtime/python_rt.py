@@ -1,0 +1,45 @@
+"""CPython runtime model.
+
+The interpreter maps a moderate footprint (a few thousand pages for the
+pyperformance functions), loads most modules lazily — which is exactly why
+Groundhog issues a dummy warm-up request before snapshotting (§4.1) — and
+runs the function on a single thread, so the fork baseline remains
+applicable for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.base import FunctionRuntime
+from repro.runtime.profiles import Language
+
+
+class PythonRuntime(FunctionRuntime):
+    """A CPython actionloop runtime hosting one Python function."""
+
+    language = Language.PYTHON
+    runtime_name = "python3"
+
+    @property
+    def num_threads(self) -> int:
+        """The benchmark functions are pure-Python and single threaded."""
+        return 1
+
+    def _text_pages(self) -> int:
+        # Interpreter text plus extension modules.
+        return max(96, int(self.profile.total_pages * 0.05))
+
+    def _data_pages(self) -> int:
+        return max(32, int(self.profile.total_pages * 0.05))
+
+    def _heap_pages(self) -> int:
+        # CPython's object arenas live on the heap.
+        return max(64, int(self.profile.total_pages * 0.20))
+
+    def _arena_vma_count(self) -> int:
+        # Shared libraries and pymalloc arenas create a moderate number of
+        # mappings (feeds the maps-read and diff costs during restore).
+        return 10
+
+    def _init_extra_seconds(self) -> float:
+        # Interpreter start-up and importing the actionloop wrapper.
+        return 0.080

@@ -1,0 +1,8 @@
+"""Simulation substrate: virtual clock, discrete-event loop, cost model."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.events import EventLoop, Event
+from repro.sim.rng import RngStreams
+
+__all__ = ["VirtualClock", "CostModel", "EventLoop", "Event", "RngStreams"]

@@ -1,0 +1,134 @@
+"""Discrete-event simulation loop.
+
+The FaaS platform substrate (invoker, containers, load generators) is a
+discrete-event simulation: components schedule callbacks at future virtual
+times and the :class:`EventLoop` executes them in timestamp order, advancing
+the shared :class:`~repro.sim.clock.VirtualClock` as it goes.
+
+The loop is deliberately small.  Groundhog's own work (snapshot, restore,
+tracking) is computed synchronously with cost models; the event loop only
+captures the *concurrency structure* of the platform — which requests wait on
+which containers, and whether restoration overlaps idle time (low load) or
+delays the next request (high load).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import EventLoopError
+from repro.sim.clock import VirtualClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, sequence)`` so simultaneous events fire in the
+    order they were scheduled, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when its time arrives."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A minimal deterministic discrete-event loop."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._executed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed since the loop was created."""
+        return self._executed_events
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise EventLoopError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise EventLoopError(
+                f"cannot schedule event at {time} before current time {self.clock.now}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        Cancelled events are discarded without running.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._executed_events += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events executed.
+
+        ``until`` is an absolute simulated time; events scheduled strictly
+        after it remain queued and the clock is advanced to ``until``.
+        """
+        if self._running:
+            raise EventLoopError("event loop is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_event = self._peek_next()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if self.step():
+                    executed += 1
+            if until is not None and self.clock.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return executed
+
+    def _peek_next(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

@@ -1,0 +1,50 @@
+"""Deterministic random-number streams.
+
+Different subsystems (platform jitter, runtime behaviour, load generation)
+draw from *independent* named streams derived from one master seed, so adding
+randomness to one subsystem never perturbs another subsystem's sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def _derive_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from a master seed and stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngStreams:
+    """A factory of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int) -> None:
+        self._master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def master_seed(self) -> int:
+        """The master seed all streams derive from."""
+        return self._master_seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(_derive_seed(self._master_seed, name))
+        return self._streams[name]
+
+    def reset(self) -> None:
+        """Drop all derived streams; subsequent calls re-seed from scratch."""
+        self._streams.clear()
+
+    def gauss_positive(self, name: str, mean: float, stddev: float) -> float:
+        """Draw a Gaussian sample clamped to be non-negative.
+
+        Used for latency jitter, where negative durations are meaningless.
+        """
+        if stddev <= 0:
+            return max(0.0, mean)
+        return max(0.0, self.stream(name).gauss(mean, stddev))

@@ -1,0 +1,129 @@
+"""The 13 FaaSProfiler benchmarks (6 Python, 7 Node.js).
+
+These are the web-application-shaped functions: JSON handling, markdown
+rendering, sentiment analysis, OCR, image resizing.  The Node.js functions
+are the hard case for Groundhog — huge V8 address spaces (150-210 K pages),
+aggressive memory-layout churn, multiple threads (no fork baseline), large
+request payloads relayed through the manager, and GC behaviour that is
+sensitive to having its clock rolled back (§5.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.profiles import FunctionProfile, Language
+from repro.workloads.spec import BenchmarkSpec, PaperReference
+
+#: name -> (base invoker ms, total Kpages, dirtied Kpages, paper restore ms,
+#:          paper GH invoker ms, paper base xput, paper GH xput, input bytes,
+#:          restore-triggered GC seconds)
+_PYTHON_DATA = {
+    "get-time":  (2.9, 3.19, 0.18, 1.66, 4.1, 1038.74, 552.09, 128, 0.0),
+    "sentiment": (6.5, 16.86, 0.57, 6.00, 8.9, 385.07, 230.39, 1024, 0.0),
+    "json":      (9.9, 3.33, 0.87, 3.71, 13.0, 150.00, 135.34, 200_000, 0.0),
+    "md2html":   (31.0, 4.93, 0.62, 4.25, 32.7, 93.94, 88.50, 8_192, 0.0),
+    "base64":    (743.2, 5.13, 1.66, 7.67, 761.5, 5.18, 5.10, 65_536, 0.0),
+    "primes":    (1829.7, 3.22, 0.53, 3.24, 1830.7, 2.04, 1.99, 64, 0.0),
+}
+
+_NODE_DATA = {
+    "get-time":     (3.7, 156.76, 0.64, 12.58, 6.4, 942.07, 133.45, 128, 0.0),
+    "autocomplete": (3.8, 156.98, 0.92, 13.52, 6.3, 922.59, 121.98, 512, 0.0),
+    "json":         (9.4, 156.78, 0.85, 13.02, 16.1, 159.09, 86.58, 200_000, 0.0),
+    "primes":       (274.6, 201.35, 34.20, 84.74, 287.1, 11.79, 8.16, 64, 0.0),
+    "img-resize":   (445.3, 179.43, 18.05, 61.83, 721.7, 6.57, 4.10, 76_000, 0.26),
+    "base64":       (644.0, 208.42, 53.83, 161.93, 715.1, 5.62, 4.34, 65_536, 0.0),
+    "ocr-img":      (2491.7, 156.80, 1.08, 13.95, 2508.5, 1.53, 1.52, 32_768, 0.0),
+}
+
+#: Members of the paper's 14-function representative subset.
+_REPRESENTATIVE_PY = {"get-time", "sentiment", "md2html"}
+_REPRESENTATIVE_NODE = {"autocomplete", "img-resize", "base64", "ocr-img"}
+
+
+def _python_profile(name: str, row: tuple) -> FunctionProfile:
+    base_ms, total_kpages, dirtied_kpages, *_rest = row
+    input_bytes = row[7]
+    return FunctionProfile(
+        name=name,
+        language=Language.PYTHON,
+        suite="faasprofiler",
+        exec_seconds=base_ms / 1000.0,
+        total_kpages=total_kpages,
+        dirtied_kpages=dirtied_kpages,
+        regions_mapped_per_invocation=1,
+        regions_unmapped_per_invocation=1,
+        heap_growth_pages=8,
+        input_bytes=input_bytes,
+        output_bytes=max(512, input_bytes // 4),
+        threads=1,
+        init_fraction=0.65,
+        # The FaaSProfiler Python functions pull in native extension modules
+        # and were not part of the paper's WebAssembly comparison.
+        wasm_compatible=False,
+        description=f"FaaSProfiler Python function {name}",
+    )
+
+
+def _node_profile(name: str, row: tuple) -> FunctionProfile:
+    base_ms, total_kpages, dirtied_kpages, *_rest = row
+    input_bytes = row[7]
+    gc_seconds = row[8]
+    return FunctionProfile(
+        name=name,
+        language=Language.NODE,
+        suite="faasprofiler",
+        exec_seconds=base_ms / 1000.0,
+        total_kpages=total_kpages,
+        dirtied_kpages=dirtied_kpages,
+        regions_mapped_per_invocation=3,
+        regions_unmapped_per_invocation=2,
+        heap_growth_pages=32,
+        input_bytes=input_bytes,
+        output_bytes=max(1024, input_bytes // 4),
+        threads=5,
+        init_fraction=0.80,
+        wasm_compatible=False,
+        restore_gc_seconds=gc_seconds,
+        restore_gc_probability=1.0 if gc_seconds > 0 else 0.0,
+        description=f"FaaSProfiler Node.js function {name}",
+    )
+
+
+def faasprofiler_benchmarks() -> List[BenchmarkSpec]:
+    """All 13 FaaSProfiler benchmark specifications."""
+    specs: List[BenchmarkSpec] = []
+    for name, row in _PYTHON_DATA.items():
+        base_ms, _tk, _dk, restore_ms, gh_ms, base_xput, gh_xput, _in, _gc = row
+        specs.append(
+            BenchmarkSpec(
+                profile=_python_profile(name, row),
+                suite="faasprofiler",
+                paper=PaperReference(
+                    base_invoker_ms=base_ms,
+                    gh_invoker_ms=gh_ms,
+                    restore_ms=restore_ms,
+                    base_throughput_rps=base_xput,
+                    gh_throughput_rps=gh_xput,
+                ),
+                representative=name in _REPRESENTATIVE_PY,
+            )
+        )
+    for name, row in _NODE_DATA.items():
+        base_ms, _tk, _dk, restore_ms, gh_ms, base_xput, gh_xput, _in, _gc = row
+        specs.append(
+            BenchmarkSpec(
+                profile=_node_profile(name, row),
+                suite="faasprofiler",
+                paper=PaperReference(
+                    base_invoker_ms=base_ms,
+                    gh_invoker_ms=gh_ms,
+                    restore_ms=restore_ms,
+                    base_throughput_rps=base_xput,
+                    gh_throughput_rps=gh_xput,
+                ),
+                representative=name in _REPRESENTATIVE_NODE,
+            )
+        )
+    return specs

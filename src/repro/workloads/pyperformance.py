@@ -1,0 +1,97 @@
+"""The 22 pyperformance benchmarks (Python).
+
+Workload characteristics (baseline compute time, mapped pages, per-request
+write set, fault counts) come from the paper's Appendix A (Table 3); they
+describe the functions themselves and are the simulator's inputs.  The
+paper's measured Groundhog results are kept separately as
+:class:`~repro.workloads.spec.PaperReference` for reporting only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runtime.profiles import FunctionProfile, Language
+from repro.workloads.spec import BenchmarkSpec, PaperReference
+
+#: name -> (base invoker ms, total Kpages, dirtied Kpages, paper restore ms,
+#:          paper GH invoker ms, paper base throughput, paper GH throughput)
+_PYPERFORMANCE_DATA = {
+    "chaos":      (648.5, 6.32, 0.47, 4.93, 652.0, 6.03, 5.94),
+    "logging":    (228.0, 6.12, 0.41, 4.77, 227.9, 0.00, 16.34),
+    "pyaes":      (4672.0, 6.21, 0.84, 6.02, 4751.3, 0.82, 0.80),
+    "spectral":   (592.8, 6.12, 0.21, 4.29, 605.2, 6.45, 6.40),
+    "deltablue":  (20.4, 6.18, 0.33, 4.64, 21.3, 157.63, 140.26),
+    "go":         (593.0, 6.25, 0.95, 6.90, 596.6, 6.48, 6.42),
+    "mdp":        (6345.5, 7.33, 2.85, 9.55, 6412.3, 0.59, 0.58),
+    "pyflate":    (1599.8, 8.25, 2.33, 11.67, 1622.5, 2.39, 2.34),
+    "telco":      (155.6, 3.29, 0.53, 3.91, 158.0, 25.01, 23.77),
+    "hexiom":     (218.2, 6.18, 0.28, 4.35, 219.2, 17.45, 17.28),
+    "nbody":      (2823.7, 6.12, 0.21, 4.08, 2845.0, 1.34, 1.34),
+    "raytrace":   (2459.2, 6.25, 0.35, 4.42, 2463.9, 1.58, 1.57),
+    "unpack_seq": (3.3, 6.12, 0.20, 3.17, 5.0, 801.86, 398.15),
+    "fannkuch":   (4.6, 6.12, 0.19, 3.14, 6.1, 572.32, 350.22),
+    "json_dumps": (533.1, 6.37, 0.51, 4.92, 551.5, 7.19, 6.95),
+    "pickle":     (105.6, 3.45, 0.23, 2.90, 105.7, 35.49, 34.98),
+    "richards":   (353.1, 6.18, 0.23, 4.16, 351.1, 10.68, 10.85),
+    "version":    (3.1, 3.14, 0.17, 1.66, 4.0, 990.38, 562.89),
+    "float":      (27.1, 6.26, 0.65, 4.99, 27.8, 125.98, 109.09),
+    "json_loads": (102.0, 6.12, 0.22, 4.04, 103.3, 36.46, 35.29),
+    "pidigits":   (2347.6, 6.14, 0.81, 5.40, 2349.1, 1.64, 1.63),
+    "scimark":    (1812.6, 3.26, 0.52, 3.77, 1806.6, 2.12, 2.12),
+}
+
+#: Benchmarks that appear in the paper's 14-function representative subset.
+_REPRESENTATIVE = {"fannkuch", "telco", "pyflate", "mdp", "get-time"}
+
+
+def _make_profile(name: str, row: tuple) -> FunctionProfile:
+    base_ms, total_kpages, dirtied_kpages, _, _, _, _ = row
+    kwargs = dict(
+        name=name,
+        language=Language.PYTHON,
+        suite="pyperformance",
+        exec_seconds=base_ms / 1000.0,
+        total_kpages=total_kpages,
+        dirtied_kpages=dirtied_kpages,
+        regions_mapped_per_invocation=1,
+        regions_unmapped_per_invocation=1,
+        heap_growth_pages=8,
+        input_bytes=256,
+        output_bytes=512,
+        threads=1,
+        init_fraction=0.65,
+        wasm_compatible=True,
+        description=f"pyperformance benchmark {name}",
+    )
+    if name == "logging":
+        # The paper's blue result: the original function leaks memory and
+        # slows down with every reuse; Groundhog's rollback also rolls the
+        # leak back.  The profile models the leak; the speed-up is derived.
+        kwargs.update(
+            leak_pages_per_invocation=40,
+            leak_slowdown_seconds_per_kpage=0.45,
+        )
+    return FunctionProfile(**kwargs)
+
+
+def pyperformance_benchmarks() -> List[BenchmarkSpec]:
+    """All 22 pyperformance benchmark specifications."""
+    specs = []
+    for name, row in _PYPERFORMANCE_DATA.items():
+        base_ms, total_kpages, dirtied_kpages, restore_ms, gh_ms, base_xput, gh_xput = row
+        specs.append(
+            BenchmarkSpec(
+                profile=_make_profile(name, row),
+                suite="pyperformance",
+                paper=PaperReference(
+                    base_invoker_ms=base_ms,
+                    gh_invoker_ms=gh_ms,
+                    restore_ms=restore_ms,
+                    base_throughput_rps=base_xput,
+                    gh_throughput_rps=gh_xput,
+                ),
+                representative=name in _REPRESENTATIVE,
+            )
+        )
+    return specs

@@ -1,0 +1,113 @@
+"""Property-based tests for the core security property and the statistics.
+
+The central invariant: for any sequence of requests with any payloads, after
+Groundhog's restoration the function process is byte-for-byte identical to
+its clean snapshot, so no request can observe anything about any earlier
+request.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import summarize_overheads
+from repro.baselines.registry import create_mechanism
+from repro.core.snapshot import Snapshotter
+from repro.core.restore import Restorer
+from repro.faas.metrics import percentile
+from repro.proc.process import SimProcess
+from repro.proc.procfs import ProcFs
+from repro.proc.ptrace import Ptrace
+from repro.runtime import build_runtime
+from repro.runtime.profiles import FunctionProfile, Language
+
+
+def _tiny_profile(language: Language, dirtied_fraction: float, churn: int) -> FunctionProfile:
+    total_kpages = 0.6
+    return FunctionProfile(
+        name=f"prop-{language.value}",
+        language=language,
+        suite="property",
+        exec_seconds=0.002,
+        total_kpages=total_kpages,
+        dirtied_kpages=round(total_kpages * dirtied_fraction, 3),
+        regions_mapped_per_invocation=churn,
+        regions_unmapped_per_invocation=max(0, churn - 1),
+        heap_growth_pages=2,
+        threads=1 if language is not Language.NODE else 5,
+        wasm_compatible=language is not Language.NODE,
+    )
+
+
+payloads = st.binary(min_size=0, max_size=96)
+
+#: Payloads used for leak checks: drawn from an alphabet disjoint from the
+#: runtime's own framing strings ("REQ:", "warmup", "WS:", ...) so that a
+#: match in a residual can only mean the payload itself leaked.
+secret_payloads = st.text(alphabet="0123456789", min_size=4, max_size=32).map(
+    lambda s: s.encode("ascii")
+)
+
+
+class TestSnapshotRestoreProperty:
+    @given(
+        language=st.sampled_from([Language.PYTHON, Language.C, Language.NODE]),
+        dirtied_fraction=st.floats(min_value=0.0, max_value=0.5),
+        churn=st.integers(min_value=0, max_value=3),
+        requests=st.lists(payloads, min_size=1, max_size=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_restore_returns_process_exactly_to_snapshot(
+        self, language, dirtied_fraction, churn, requests
+    ):
+        profile = _tiny_profile(language, dirtied_fraction, churn)
+        runtime = build_runtime(profile, SimProcess(profile.name), random.Random(0))
+        runtime.boot()
+        runtime.warm()
+        procfs = ProcFs(runtime.process)
+        ptrace = Ptrace(runtime.process)
+        snapshot, _ = Snapshotter(ptrace, procfs).take()
+        restorer = Restorer(ptrace, procfs)
+        for index, payload in enumerate(requests):
+            runtime.invoke(payload, f"prop-{index}")
+            result = restorer.restore(snapshot, verify=True)
+            assert result.verified
+
+    @given(
+        mechanism=st.sampled_from(["gh", "fork", "faasm"]),
+        requests=st.lists(secret_payloads, min_size=2, max_size=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_request_payload_survives_into_later_responses(self, mechanism, requests):
+        profile = _tiny_profile(Language.PYTHON, 0.2, 1)
+        mech = create_mechanism(mechanism, profile, rng=random.Random(1))
+        mech.initialize()
+        seen = []
+        for index, payload in enumerate(requests):
+            report = mech.invoke(payload, f"r{index}", caller=f"caller-{index}")
+            residual = report.result.residual
+            for earlier in seen:
+                if earlier:
+                    assert earlier not in residual
+            seen.append(payload)
+
+
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000.0), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_are_monotone_and_bounded(self, samples):
+        ordered = sorted(samples)
+        p10 = percentile(ordered, 10)
+        p50 = percentile(ordered, 50)
+        p95 = percentile(ordered, 95)
+        assert ordered[0] <= p10 <= p50 <= p95 <= ordered[-1]
+
+    @given(st.lists(st.floats(min_value=-50, max_value=400), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_overhead_summary_bounds(self, overheads):
+        summary = summarize_overheads(overheads)
+        assert summary.minimum_percent <= summary.median_percent <= summary.maximum_percent
+        assert summary.median_percent <= summary.p95_percent <= summary.maximum_percent
+        assert summary.count == len(overheads)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the memory substrate invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.mem.address_space import AddressSpace
+from repro.mem.layout import diff_layouts
+from repro.mem.pagemap import PagemapView
+from repro.mem.page import Protection
+
+#: A handful of mapping sizes (in pages) exercised by the strategies.
+sizes = st.integers(min_value=1, max_value=32)
+
+
+def _space_with_regions(region_sizes):
+    space = AddressSpace()
+    vmas = [space.mmap(size * PAGE_SIZE, populate=True) for size in region_sizes]
+    return space, vmas
+
+
+class TestAddressSpaceInvariants:
+    @given(st.lists(sizes, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_vmas_never_overlap_and_are_sorted(self, region_sizes):
+        space, _ = _space_with_regions(region_sizes)
+        vmas = space.vmas
+        for earlier, later in zip(vmas, vmas[1:]):
+            assert earlier.end <= later.start
+        assert space.total_mapped_pages == sum(region_sizes)
+
+    @given(st.lists(sizes, min_size=1, max_size=6), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_munmap_everything_leaves_nothing_behind(self, region_sizes, rnd):
+        space, vmas = _space_with_regions(region_sizes)
+        order = list(vmas)
+        rnd.shuffle(order)
+        for vma in order:
+            space.munmap(vma.start, vma.length)
+        assert space.total_mapped_pages == 0
+        assert space.resident_pages == 0
+        assert space.soft_dirty_page_numbers() == set()
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_write_set_matches_soft_dirty_bits(self, mapped, writes):
+        space = AddressSpace()
+        vma = space.mmap(mapped * PAGE_SIZE, populate=True)
+        space.clear_soft_dirty()
+        written = set()
+        for index in range(writes):
+            page = vma.first_page + (index * 7) % mapped
+            space.write_page(page, b"w")
+            written.add(page)
+        assert space.soft_dirty_page_numbers() == written
+        scan = PagemapView(space).scan_mapped()
+        assert set(scan.dirty_pages) == written
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_brk_grow_then_shrink_is_identity(self, grow, shrink):
+        space = AddressSpace()
+        base_layout = space.layout()
+        space.sbrk(grow * PAGE_SIZE)
+        space.sbrk(-min(shrink, grow) * PAGE_SIZE)
+        space.set_brk(space.brk_base)
+        assert space.layout() == base_layout
+
+    @given(st.lists(sizes, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_fork_child_sees_identical_content(self, region_sizes):
+        space, vmas = _space_with_regions(region_sizes)
+        for index, vma in enumerate(vmas):
+            space.write_page(vma.first_page, f"region-{index}".encode())
+        child = space.fork()
+        for index, vma in enumerate(vmas):
+            assert child.page_content(vma.first_page) == f"region-{index}".encode()
+        assert child.layout() == space.layout()
+
+    @given(st.lists(sizes, min_size=1, max_size=6), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_fork_isolation_is_symmetric(self, region_sizes, writes):
+        space, vmas = _space_with_regions(region_sizes)
+        child = space.fork()
+        for index in range(writes):
+            vma = vmas[index % len(vmas)]
+            child.write_page(vma.first_page, f"child-{index}".encode())
+            space.write_page(vma.last_page, f"parent-{index}".encode())
+        for index in range(writes):
+            vma = vmas[index % len(vmas)]
+            assert b"child" not in space.page_content(vma.first_page)
+            assert b"parent" not in child.page_content(vma.last_page)
+
+
+class TestLayoutDiffProperties:
+    @given(st.lists(sizes, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_diff_with_self_is_empty(self, region_sizes):
+        space, _ = _space_with_regions(region_sizes)
+        layout = space.layout()
+        assert diff_layouts(layout, layout).is_empty
+
+    @given(st.lists(sizes, min_size=2, max_size=8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_diff_detects_each_removed_region(self, region_sizes, data):
+        space, vmas = _space_with_regions(region_sizes)
+        before = space.layout()
+        to_remove = data.draw(
+            st.lists(st.sampled_from(vmas), min_size=1, max_size=len(vmas), unique=True)
+        )
+        for vma in to_remove:
+            space.munmap(vma.start, vma.length)
+        diff = diff_layouts(before, space.layout())
+        removed_starts = {record.start for record in diff.removed}
+        assert removed_starts == {vma.start for vma in to_remove}
+        assert not diff.added
+
+    @given(st.lists(sizes, min_size=1, max_size=6), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_diff_operation_count_bounds(self, region_sizes, added_count):
+        space, _ = _space_with_regions(region_sizes)
+        before = space.layout()
+        for index in range(added_count):
+            space.mmap(PAGE_SIZE, name=f"added-{index}")
+        diff = diff_layouts(before, space.layout())
+        assert len(diff.added) == added_count
+        assert diff.num_operations == added_count

@@ -1,0 +1,261 @@
+"""Tests for the simulated address space: mappings, faults, tracking, CoW."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.errors import MappingError, SegmentationFault
+from repro.mem.address_space import AddressSpace
+from repro.mem.page import Protection
+from repro.mem.vma import VmaKind
+from repro.sim.costs import CostModel
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace(CostModel())
+
+
+class TestMapping:
+    def test_mmap_creates_page_aligned_vma(self, space):
+        vma = space.mmap(3 * PAGE_SIZE + 1)
+        assert vma.num_pages == 4
+        assert vma.start % PAGE_SIZE == 0
+        assert space.total_mapped_pages == 4
+
+    def test_mmap_rejects_nonpositive_length(self, space):
+        with pytest.raises(MappingError):
+            space.mmap(0)
+
+    def test_mmap_fixed_address(self, space):
+        vma = space.mmap(PAGE_SIZE, address=0x10000000)
+        assert vma.start == 0x10000000
+
+    def test_mmap_fixed_address_must_be_aligned(self, space):
+        with pytest.raises(MappingError):
+            space.mmap(PAGE_SIZE, address=123)
+
+    def test_mmap_overlap_rejected(self, space):
+        space.mmap(4 * PAGE_SIZE, address=0x10000000)
+        with pytest.raises(MappingError):
+            space.mmap(PAGE_SIZE, address=0x10000000 + PAGE_SIZE)
+
+    def test_mmap_populate_makes_pages_resident(self, space):
+        vma = space.mmap(4 * PAGE_SIZE, populate=True)
+        assert space.resident_pages == 4
+        assert all(space.page(p) is not None for p in vma.pages())
+
+    def test_munmap_removes_pages_and_mapping(self, space):
+        vma = space.mmap(4 * PAGE_SIZE, populate=True)
+        dropped = space.munmap(vma.start, vma.length)
+        assert dropped == 4
+        assert space.total_mapped_pages == 0
+        assert space.resident_pages == 0
+
+    def test_munmap_partial_splits_vma(self, space):
+        vma = space.mmap(4 * PAGE_SIZE, populate=True)
+        space.munmap(vma.start + PAGE_SIZE, PAGE_SIZE)
+        assert space.total_mapped_pages == 3
+        assert len(space.vmas) == 2
+
+    def test_mprotect_changes_protection(self, space):
+        vma = space.mmap(2 * PAGE_SIZE)
+        space.mprotect(vma.start, PAGE_SIZE, Protection.r())
+        protections = {v.prot for v in space.vmas}
+        assert Protection.r() in protections
+        assert Protection.rw() in protections
+
+    def test_mprotect_unmapped_range_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.mprotect(0x500000, PAGE_SIZE, Protection.r())
+
+    def test_madvise_dontneed_drops_contents_keeps_mapping(self, space):
+        vma = space.mmap(2 * PAGE_SIZE)
+        space.write_page(vma.first_page, b"data")
+        dropped = space.madvise_dontneed(vma.start, vma.length)
+        assert dropped == 1
+        assert space.total_mapped_pages == 2
+        assert space.page_content(vma.first_page) == b""
+
+    def test_map_stack_is_separate_region(self, space):
+        stack = space.map_stack(8 * PAGE_SIZE)
+        assert stack.kind is VmaKind.STACK
+        assert space.find_vma(stack.start) == stack
+
+
+class TestBrk:
+    def test_brk_grows_heap(self, space):
+        new_brk = space.set_brk(space.brk_base + 4 * PAGE_SIZE)
+        assert new_brk == space.brk_base + 4 * PAGE_SIZE
+        heap = space.find_vma(space.brk_base)
+        assert heap is not None and heap.kind is VmaKind.HEAP
+
+    def test_brk_shrink_drops_pages(self, space):
+        space.set_brk(space.brk_base + 4 * PAGE_SIZE)
+        space.write_page(space.brk_base // PAGE_SIZE + 3, b"top")
+        space.set_brk(space.brk_base + PAGE_SIZE)
+        assert space.page(space.brk_base // PAGE_SIZE + 3) is None
+
+    def test_brk_below_base_rejected(self, space):
+        with pytest.raises(MappingError):
+            space.set_brk(space.brk_base - PAGE_SIZE)
+
+    def test_sbrk_adjusts_relative(self, space):
+        space.sbrk(2 * PAGE_SIZE)
+        assert space.brk == space.brk_base + 2 * PAGE_SIZE
+
+    def test_brk_shrink_to_base_removes_heap_vma(self, space):
+        space.set_brk(space.brk_base + 2 * PAGE_SIZE)
+        space.set_brk(space.brk_base)
+        assert space.find_vma(space.brk_base) is None
+
+
+class TestAccessAndFaults:
+    def test_write_to_unmapped_address_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.write(0xDEAD0000, b"x")
+
+    def test_write_to_readonly_mapping_faults(self, space):
+        vma = space.mmap(PAGE_SIZE, Protection.r())
+        with pytest.raises(SegmentationFault):
+            space.write_page(vma.first_page, b"x")
+
+    def test_read_of_unmapped_address_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0xDEAD0000)
+
+    def test_first_write_takes_minor_fault(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        space.write_page(vma.first_page, b"hello")
+        assert space.meter.counters.minor_faults == 1
+        assert space.page_content(vma.first_page) == b"hello"
+
+    def test_second_write_to_same_page_takes_no_fault(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        space.write_page(vma.first_page, b"a")
+        space.write_page(vma.first_page, b"b")
+        assert space.meter.counters.minor_faults == 1
+        assert space.meter.counters.soft_dirty_faults == 0
+
+    def test_soft_dirty_fault_only_after_tracking_armed(self, space):
+        vma = space.mmap(PAGE_SIZE, populate=True)
+        space.write_page(vma.first_page, b"a")
+        assert space.meter.counters.soft_dirty_faults == 0
+        space.clear_soft_dirty()
+        space.write_page(vma.first_page, b"b")
+        assert space.meter.counters.soft_dirty_faults == 1
+
+    def test_soft_dirty_bits_track_writes(self, space):
+        vma = space.mmap(4 * PAGE_SIZE, populate=True)
+        space.clear_soft_dirty()
+        assert space.soft_dirty_page_numbers() == set()
+        space.write_page(vma.first_page, b"x")
+        space.write_page(vma.first_page + 2, b"y")
+        assert space.soft_dirty_page_numbers() == {vma.first_page, vma.first_page + 2}
+
+    def test_write_range_dirties_every_page(self, space):
+        vma = space.mmap(10 * PAGE_SIZE)
+        space.write_range(vma.first_page, 10, b"bulk")
+        assert len(space.soft_dirty_page_numbers()) == 10
+        assert space.meter.counters.pages_written == 10
+
+    def test_read_page_returns_zero_content_for_untouched_page(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        assert space.read_page(vma.first_page) == b""
+
+    def test_touch_read_range_charges_reads(self, space):
+        vma = space.mmap(8 * PAGE_SIZE, populate=True)
+        space.touch_read_range(vma.first_page, 8)
+        assert space.meter.counters.pages_read == 8
+
+    def test_meter_checkpoint_delta(self, space):
+        vma = space.mmap(4 * PAGE_SIZE)
+        checkpoint = space.meter.checkpoint()
+        space.write_range(vma.first_page, 4, b"x")
+        delta = space.meter.since(checkpoint)
+        assert delta.pages_written == 4
+        assert delta.minor_faults == 4
+        assert delta.cost_seconds > 0
+
+
+class TestKernelSideAccess:
+    def test_kernel_write_does_not_charge_function_faults(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        space.kernel_write_page(vma.first_page, b"restored")
+        assert space.meter.counters.minor_faults == 0
+        assert space.page_content(vma.first_page) == b"restored"
+
+    def test_kernel_write_outside_mapping_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.kernel_write_page(0xDEAD, b"x")
+
+    def test_kernel_read_of_non_resident_page_is_zero(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        assert space.kernel_read_page(vma.first_page) == b""
+
+    def test_kernel_drop_page_removes_residency(self, space):
+        vma = space.mmap(PAGE_SIZE, populate=True)
+        space.kernel_drop_page(vma.first_page)
+        assert space.page(vma.first_page) is None
+
+
+class TestFork:
+    def test_fork_shares_content_copy_on_write(self, space):
+        vma = space.mmap(2 * PAGE_SIZE)
+        space.write_page(vma.first_page, b"parent")
+        child = space.fork()
+        child.write_page(vma.first_page, b"child")
+        assert space.page_content(vma.first_page) == b"parent"
+        assert child.page_content(vma.first_page) == b"child"
+
+    def test_child_write_charges_cow_fault(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        space.write_page(vma.first_page, b"p")
+        child = space.fork()
+        child.write_page(vma.first_page, b"c")
+        assert child.meter.counters.cow_faults == 1
+
+    def test_parent_write_after_fork_also_pays_cow(self, space):
+        vma = space.mmap(PAGE_SIZE)
+        space.write_page(vma.first_page, b"p")
+        space.fork()
+        space.write_page(vma.first_page, b"p2")
+        assert space.meter.counters.cow_faults == 1
+
+    def test_child_first_read_pays_first_touch(self, space):
+        vma = space.mmap(4 * PAGE_SIZE)
+        space.write_range(vma.first_page, 4, b"p")
+        child = space.fork()
+        child.touch_read_range(vma.first_page, 4)
+        assert child.meter.counters.first_touch_faults == 4
+
+    def test_fork_preserves_layout(self, space):
+        space.mmap(2 * PAGE_SIZE)
+        space.set_brk(space.brk_base + PAGE_SIZE)
+        child = space.fork()
+        assert child.layout() == space.layout()
+
+
+class TestWriteProtection:
+    def test_uffd_handler_invoked_on_write(self, space):
+        vma = space.mmap(2 * PAGE_SIZE, populate=True)
+        written = []
+        space.arm_write_protection(written.append)
+        space.write_page(vma.first_page, b"x")
+        assert written == [vma.first_page]
+        assert space.meter.counters.uffd_faults == 1
+
+    def test_uffd_fault_charged_once_per_page(self, space):
+        vma = space.mmap(PAGE_SIZE, populate=True)
+        space.arm_write_protection()
+        space.write_page(vma.first_page, b"a")
+        space.write_page(vma.first_page, b"b")
+        assert space.meter.counters.uffd_faults == 1
+
+    def test_disarm_stops_faults(self, space):
+        vma = space.mmap(PAGE_SIZE, populate=True)
+        space.arm_write_protection()
+        space.disarm_write_protection()
+        space.write_page(vma.first_page, b"a")
+        assert space.meter.counters.uffd_faults == 0

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list_benchmarks_all(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "58 benchmarks" in out
+        assert "pyaes (p)" in out
+
+    def test_list_benchmarks_by_suite(self, capsys):
+        assert main(["list-benchmarks", "--suite", "polybench"]) == 0
+        out = capsys.readouterr().out
+        assert "23 benchmarks" in out
+        assert "pyaes (p)" not in out
+
+    def test_demo_leak_shows_both_configurations(self, capsys):
+        assert main(["demo-leak", "--benchmark", "get-time", "--language", "p"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "gh" in out
+        assert "YES" in out and "no" in out
+
+    def test_restore_stats_reports_paper_value(self, capsys):
+        assert main(["restore-stats", "--benchmark", "bicg", "--invocations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean restoration" in out
+        assert "paper-reported restoration" in out
+
+    def test_lifecycle_command(self, capsys):
+        assert main(["lifecycle", "--benchmark", "get-time", "--language", "p"]) == 0
+        out = capsys.readouterr().out
+        assert "environment_instantiation_seconds" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ambiguous_benchmark_needs_language(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["demo-leak", "--benchmark", "get-time"])

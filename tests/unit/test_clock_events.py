@@ -1,0 +1,127 @@
+"""Tests for the virtual clock and the discrete-event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClockError, EventLoopError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_past_rejected(self):
+        clock = VirtualClock(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+
+class TestEventLoop:
+    def test_schedule_and_run_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        executed = loop.run()
+        assert executed == 3
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_schedule_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(EventLoopError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        loop = EventLoop()
+        loop.clock.advance(5.0)
+        with pytest.raises(EventLoopError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_events_do_not_run(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule(1.0, lambda: ran.append("x"))
+        event.cancel()
+        loop.run()
+        assert ran == []
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        ran = []
+        loop.schedule(1.0, lambda: ran.append("early"))
+        loop.schedule(10.0, lambda: ran.append("late"))
+        loop.run(until=5.0)
+        assert ran == ["early"]
+        assert loop.now == 5.0
+        assert loop.pending == 1
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        for delay in (1.0, 2.0, 3.0):
+            loop.schedule(delay, lambda: None)
+        executed = loop.run(max_events=2)
+        assert executed == 2
+        assert loop.pending == 1
+
+    def test_events_can_schedule_more_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule(1.0, lambda: seen.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+        assert loop.now == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_executed_events_counter(self):
+        loop = EventLoop()
+        loop.schedule(0.5, lambda: None)
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.executed_events == 2

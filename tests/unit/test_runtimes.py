@@ -1,0 +1,218 @@
+"""Tests for the function profiles and language-runtime models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import RuntimeModelError, UnsupportedRuntimeError, WorkloadError
+from repro.proc.process import SimProcess
+from repro.runtime import build_runtime
+from repro.runtime.native import NativeRuntime
+from repro.runtime.node_rt import NodeRuntime
+from repro.runtime.profiles import FunctionProfile, Language
+from repro.runtime.python_rt import PythonRuntime
+from repro.runtime.wasm import WasmRuntime, wasm_execution_factor
+from repro.sim.costs import CostModel
+
+
+class TestFunctionProfile:
+    def test_qualified_name_uses_language_suffix(self, small_python_profile):
+        assert small_python_profile.qualified_name == "unit-python (p)"
+
+    def test_derived_page_counts(self, small_python_profile):
+        assert small_python_profile.total_pages == 1200
+        assert small_python_profile.dirtied_pages == 150
+
+    def test_default_read_pages_scale_with_write_set(self, small_python_profile):
+        assert small_python_profile.read_pages >= small_python_profile.dirtied_pages
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"exec_seconds": 0},
+            {"total_kpages": 0},
+            {"dirtied_kpages": -1},
+            {"dirtied_kpages": 99.0},
+            {"init_fraction": 0.0},
+            {"init_fraction": 1.5},
+            {"threads": 0},
+            {"restore_gc_probability": 2.0},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        base = dict(name="bad", language=Language.C, exec_seconds=0.01,
+                    total_kpages=1.0, dirtied_kpages=0.1)
+        base.update(kwargs)
+        with pytest.raises(WorkloadError):
+            FunctionProfile(**base)
+
+    def test_scaled_profile_scales_memory_only(self, small_python_profile):
+        scaled = small_python_profile.scaled(2.0)
+        assert scaled.total_kpages == pytest.approx(2.4)
+        assert scaled.exec_seconds == small_python_profile.exec_seconds
+
+    def test_scaled_rejects_nonpositive(self, small_python_profile):
+        with pytest.raises(WorkloadError):
+            small_python_profile.scaled(0)
+
+
+class TestRuntimeFactory:
+    def test_language_dispatch(self, small_python_profile, small_c_profile, small_node_profile):
+        assert isinstance(build_runtime(small_python_profile, SimProcess("a")), PythonRuntime)
+        assert isinstance(build_runtime(small_c_profile, SimProcess("b")), NativeRuntime)
+        assert isinstance(build_runtime(small_node_profile, SimProcess("c")), NodeRuntime)
+
+    def test_wasm_flag_builds_wasm_runtime(self, small_c_profile):
+        runtime = build_runtime(small_c_profile, SimProcess("d"), wasm=True)
+        assert isinstance(runtime, WasmRuntime)
+
+    def test_wasm_rejects_incompatible_profile(self, small_node_profile):
+        with pytest.raises(UnsupportedRuntimeError):
+            build_runtime(small_node_profile, SimProcess("e"), wasm=True)
+
+
+class TestRuntimeLifecycle:
+    def _runtime(self, profile):
+        return build_runtime(profile, SimProcess(profile.name), random.Random(0))
+
+    def test_boot_maps_roughly_the_profile_footprint(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        runtime.warm()
+        mapped = runtime.process.address_space.total_mapped_pages
+        assert mapped == pytest.approx(small_python_profile.total_pages, rel=0.25)
+
+    def test_warm_before_boot_rejected(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        with pytest.raises(RuntimeModelError):
+            runtime.warm()
+
+    def test_invoke_before_warm_rejected(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        with pytest.raises(RuntimeModelError):
+            runtime.invoke(b"x")
+
+    def test_double_boot_rejected(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        with pytest.raises(RuntimeModelError):
+            runtime.boot()
+
+    def test_invocation_dirties_roughly_profile_write_set(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        runtime.warm()
+        space = runtime.process.address_space
+        space.clear_soft_dirty()
+        runtime.invoke(b"payload", "r1")
+        dirty = len(space.soft_dirty_page_numbers())
+        assert dirty == pytest.approx(small_python_profile.dirtied_pages, rel=0.3)
+
+    def test_request_data_lands_in_request_buffer(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        runtime.warm()
+        runtime.invoke(b"alice-secret", "r1")
+        assert b"alice-secret" in runtime.read_request_buffer()
+
+    def test_residual_exposes_previous_request_without_isolation(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        runtime.warm()
+        runtime.invoke(b"alice-secret", "r1")
+        second = runtime.invoke(b"bob-data", "r2")
+        assert b"alice-secret" in second.residual
+
+    def test_compute_time_tracks_profile(self, small_python_profile):
+        runtime = self._runtime(small_python_profile)
+        runtime.boot()
+        runtime.warm()
+        result = runtime.invoke(b"x", "r1")
+        assert result.compute_seconds == pytest.approx(
+            small_python_profile.exec_seconds, rel=0.2
+        )
+
+    def test_native_runtime_is_single_threaded(self, small_c_profile):
+        runtime = self._runtime(small_c_profile)
+        runtime.boot()
+        assert runtime.process.num_threads == 1
+
+    def test_node_runtime_is_multithreaded(self, small_node_profile):
+        runtime = self._runtime(small_node_profile)
+        runtime.boot()
+        assert runtime.process.num_threads >= 5
+
+    def test_node_layout_churn_maps_and_unmaps_regions(self, small_node_profile):
+        runtime = self._runtime(small_node_profile)
+        runtime.boot()
+        runtime.warm()
+        before = len(runtime.process.address_space.vmas)
+        runtime.invoke(b"x", "r1")
+        after = len(runtime.process.address_space.vmas)
+        assert after != before or small_node_profile.regions_mapped_per_invocation == 0
+
+    def test_memory_leak_accumulates_and_slows_down(self, leaky_profile):
+        runtime = self._runtime(leaky_profile)
+        runtime.boot()
+        runtime.warm()
+        first = runtime.invoke(b"x", "r1").compute_seconds
+        for index in range(10):
+            last = runtime.invoke(b"x", f"r{index + 2}").compute_seconds
+        assert last > first
+
+    def test_reset_logical_state_reverts_leak_counter(self, leaky_profile):
+        runtime = self._runtime(leaky_profile)
+        runtime.boot()
+        runtime.warm()
+        runtime.mark_clean_state()
+        for index in range(5):
+            runtime.invoke(b"x", f"r{index}")
+        slowed = runtime.invoke(b"x", "slow").compute_seconds
+        runtime.notify_restored()
+        recovered = runtime.invoke(b"x", "fast").compute_seconds
+        assert recovered < slowed
+
+    def test_node_gc_pause_only_after_restore(self, small_node_profile):
+        profile = small_node_profile
+        runtime = NodeRuntime(profile, SimProcess("n"), random.Random(1))
+        runtime.boot()
+        runtime.warm()
+        normal = runtime.invoke(b"x", "r1")
+        assert normal.gc_pause_seconds == 0.0
+        # After a notified restore, a GC pause may occur (probability 0.5);
+        # force determinism by running enough trials.
+        pauses = []
+        for index in range(20):
+            runtime.notify_restored()
+            pauses.append(runtime.invoke(b"x", f"g{index}").gc_pause_seconds)
+        assert any(p > 0 for p in pauses)
+
+
+class TestWasmRuntime:
+    def test_python_runs_slower_under_wasm(self, small_python_profile):
+        factor = wasm_execution_factor(small_python_profile, CostModel())
+        assert factor > 1.0
+        runtime = WasmRuntime(small_python_profile, SimProcess("w"), random.Random(0))
+        runtime.boot()
+        runtime.warm()
+        result = runtime.invoke(b"x", "r1")
+        assert result.compute_seconds == pytest.approx(
+            small_python_profile.exec_seconds * factor, rel=0.2
+        )
+
+    def test_c_runs_faster_under_wasm(self, small_c_profile):
+        assert wasm_execution_factor(small_c_profile, CostModel()) < 1.0
+
+    def test_profile_override_wins(self):
+        profile = FunctionProfile(
+            name="override", language=Language.C, exec_seconds=0.01,
+            total_kpages=0.5, dirtied_kpages=0.05, wasm_factor=2.5,
+        )
+        assert wasm_execution_factor(profile, CostModel()) == 2.5
+
+    def test_node_profile_has_no_wasm_factor(self, small_node_profile):
+        with pytest.raises(UnsupportedRuntimeError):
+            wasm_execution_factor(small_node_profile, CostModel())
