@@ -37,8 +37,10 @@ from repro.faas import (
     ActionSpec,
     ClosedLoopClient,
     Container,
+    FaaSCluster,
     FaaSPlatform,
     Invocation,
+    MultiActionSaturatingClient,
     SaturatingClient,
 )
 from repro.runtime import FunctionProfile, Language, build_runtime
@@ -68,11 +70,13 @@ __all__ = [
     "create_mechanism",
     "MECHANISMS",
     "FaaSPlatform",
+    "FaaSCluster",
     "ActionSpec",
     "Container",
     "Invocation",
     "ClosedLoopClient",
     "SaturatingClient",
+    "MultiActionSaturatingClient",
     "FunctionProfile",
     "Language",
     "build_runtime",

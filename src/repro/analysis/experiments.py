@@ -29,6 +29,7 @@ Headline numbers (§1, §5)   :func:`headline_summary`
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -39,7 +40,8 @@ from repro.baselines.registry import create_mechanism, mechanism_class
 from repro.config import SimulationConfig
 from repro.core.restore import RestoreBreakdown
 from repro.faas.action import ActionSpec
-from repro.faas.loadgen import ClosedLoopClient, SaturatingClient
+from repro.faas.cluster import FaaSCluster
+from repro.faas.loadgen import ClosedLoopClient, MultiActionSaturatingClient, SaturatingClient
 from repro.faas.metrics import LatencyStats
 from repro.faas.platform import FaaSPlatform
 from repro.runtime.profiles import FunctionProfile, Language
@@ -284,6 +286,24 @@ def measure_latency(
     )
 
 
+def _saturation_window(profile: FunctionProfile, rounds: int) -> Tuple[float, float, float]:
+    """Size a saturated measurement run for one profile.
+
+    Returns ``(per_request_estimate, duration, warmup)``.  The per-request
+    estimate is rough container occupancy: execution plus an estimate of
+    restoration (pagemap scan of the footprint + copy-back of the write
+    set); it is used only to size the window so that ``rounds`` requests
+    fit per container.
+    """
+    restore_estimate = (
+        profile.total_pages * 0.2e-6 + profile.dirtied_pages * 2.4e-6 + 0.002
+    )
+    per_request_estimate = profile.exec_seconds * 1.4 + restore_estimate + 0.005
+    duration = max(0.5, rounds * per_request_estimate)
+    warmup = min(duration * 0.15, per_request_estimate * 2)
+    return per_request_estimate, duration, warmup
+
+
 def measure_throughput(
     spec_or_profile,
     config: str,
@@ -306,15 +326,7 @@ def measure_throughput(
     )
     action = _spec_for(spec_or_profile, config, **mechanism_options)
     platform.deploy(action)
-    # Rough per-request container occupancy: execution plus an estimate of
-    # restoration (pagemap scan of the footprint + copy-back of the write
-    # set); used only to size the measurement window.
-    restore_estimate = (
-        profile.total_pages * 0.2e-6 + profile.dirtied_pages * 2.4e-6 + 0.002
-    )
-    per_request_estimate = profile.exec_seconds * 1.4 + restore_estimate + 0.005
-    duration = max(0.5, rounds * per_request_estimate)
-    warmup = min(duration * 0.15, per_request_estimate * 2)
+    per_request_estimate, duration, warmup = _saturation_window(profile, rounds)
     if in_flight is None:
         # Keep enough requests in flight that the controller round-trip never
         # starves the invoker, even for sub-millisecond functions.
@@ -604,6 +616,127 @@ def run_scaling(
                 )
                 points.append((float(core_count), record.throughput_rps or 0.0))
             sweep.add(Series.from_points(config, points))
+        sweeps[spec.qualified_name] = sweep
+    return sweeps
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 (cluster variant) — throughput scaling with invokers × policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterMeasurement:
+    """Aggregate behaviour of one cluster run."""
+
+    benchmark: str
+    config: str
+    policy: str
+    invokers: int
+    throughput_rps: float
+    warm_hit_rate: float
+    cold_starts: int
+    rejected: int
+
+
+def measure_cluster_throughput(
+    spec_or_profile,
+    config: str,
+    *,
+    invokers: int = 4,
+    policy: str = "hash-affinity",
+    cores: int = 4,
+    containers: int = 1,
+    actions: int = 8,
+    rounds: int = 10,
+    in_flight_per_action: Optional[int] = None,
+    max_queue_per_action: Optional[int] = None,
+    seed: int = 20230501,
+    **mechanism_options,
+) -> ClusterMeasurement:
+    """Aggregate saturated throughput of a cluster deployment.
+
+    Deploys ``actions`` copies of the benchmark (distinct action names, so
+    hash affinity spreads their homes across invokers) and saturates all of
+    them at once.  ``rounds`` approximates how many requests each core
+    should complete inside the measurement window.
+    """
+    profile = _profile_of(spec_or_profile)
+    platform = FaaSCluster(
+        SimulationConfig(
+            cores=cores,
+            containers_per_action=containers,
+            invokers=invokers,
+            scheduler_policy=policy,
+            max_containers_per_action=max(containers, cores),
+            max_queue_per_action=max_queue_per_action,
+            seed=seed,
+        )
+    )
+    names = []
+    for index in range(actions):
+        action = _spec_for(spec_or_profile, config, **mechanism_options)
+        action = dataclasses.replace(action, name=f"{action.name}@{index}")
+        platform.deploy(action)
+        names.append(action.name)
+    _, duration, warmup = _saturation_window(profile, rounds)
+    if in_flight_per_action is None:
+        # Enough outstanding work per action that the whole cluster's cores
+        # stay busy even when one invoker is every action's home.
+        in_flight_per_action = max(2, (invokers * cores * 2) // actions + 1)
+    client = MultiActionSaturatingClient(
+        platform,
+        names,
+        in_flight_per_action=in_flight_per_action,
+        duration_seconds=duration,
+        warmup_seconds=warmup,
+    )
+    throughput = client.run()
+    return ClusterMeasurement(
+        benchmark=profile.qualified_name,
+        config=config,
+        policy=policy,
+        invokers=invokers,
+        throughput_rps=throughput,
+        warm_hit_rate=platform.warm_hit_rate,
+        cold_starts=sum(inv.cold_starts for inv in platform.invokers),
+        rejected=sum(inv.invocations_rejected for inv in platform.invokers),
+    )
+
+
+def run_cluster_scaling(
+    benchmarks: Optional[Sequence[BenchmarkSpec]] = None,
+    *,
+    config: str = "gh",
+    invoker_counts: Sequence[int] = (1, 2, 4),
+    policies: Sequence[str] = ("round-robin", "least-loaded", "hash-affinity"),
+    cores: int = 2,
+    actions: int = 8,
+    rounds: int = 5,
+    seed: int = 20230501,
+) -> Dict[str, SweepResult]:
+    """Fig. 7 cluster variant: aggregate throughput vs invoker count per policy.
+
+    Returns one sweep per benchmark; each series is a scheduling policy and
+    each point is the aggregate saturated throughput of that many invokers.
+    """
+    if benchmarks is None:
+        benchmarks = representative_benchmarks()[:2]
+    sweeps: Dict[str, SweepResult] = {}
+    for spec in benchmarks:
+        if not _applicable(config, spec):
+            continue
+        sweep = SweepResult(x_label="invokers", y_label="aggregate throughput (req/s)")
+        for policy in policies:
+            points = []
+            for count in invoker_counts:
+                measurement = measure_cluster_throughput(
+                    spec, config,
+                    invokers=count, policy=policy, cores=cores,
+                    actions=actions, rounds=rounds, seed=seed,
+                )
+                points.append((float(count), measurement.throughput_rps))
+            sweep.add(Series.from_points(policy, points))
         sweeps[spec.qualified_name] = sweep
     return sweeps
 

@@ -6,6 +6,8 @@ Usage (after installing the package)::
     python -m repro.cli demo-leak [--benchmark NAME] [--language p|c|n]
     python -m repro.cli restore-stats --benchmark NAME [--language p|c|n]
     python -m repro.cli lifecycle [--benchmark NAME] [--language p|c|n]
+    python -m repro.cli cluster-scaling [--benchmark NAME] [--invokers 1 2 4]
+                                        [--policies round-robin hash-affinity]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -19,9 +21,14 @@ import random
 import sys
 from typing import List, Optional
 
-from repro.analysis.experiments import measure_restores, run_lifecycle
+from repro.analysis.experiments import (
+    measure_cluster_throughput,
+    measure_restores,
+    run_lifecycle,
+)
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
+from repro.config import SCHEDULER_POLICIES
 from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
 
 
@@ -101,6 +108,38 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_scaling(args: argparse.Namespace) -> int:
+    """Sweep invoker count × scheduling policy and print aggregate throughput."""
+    spec = _spec_from_args(args)
+    rows = []
+    for policy in args.policies:
+        for invokers in args.invokers:
+            m = measure_cluster_throughput(
+                spec, args.config,
+                invokers=invokers, policy=policy, cores=args.cores,
+                actions=args.actions, rounds=args.rounds,
+                max_queue_per_action=args.max_queue,
+                in_flight_per_action=args.in_flight,
+            )
+            rows.append([
+                policy,
+                str(invokers),
+                f"{m.throughput_rps:.1f}",
+                f"{m.warm_hit_rate * 100:.0f}%",
+                str(m.cold_starts),
+                str(m.rejected),
+            ])
+    print(render_table(
+        ["policy", "invokers", "throughput (req/s)", "warm hits", "cold starts", "rejected"],
+        rows,
+        title=(
+            f"Cluster scaling — {spec.qualified_name} under {args.config} "
+            f"({args.actions} actions, {args.cores} cores/invoker)"
+        ),
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -129,6 +168,31 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle_parser = subparsers.add_parser("lifecycle", help="Fig. 1 life-cycle phases")
     add_benchmark_args(lifecycle_parser)
     lifecycle_parser.set_defaults(func=cmd_lifecycle)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster-scaling", help="aggregate throughput vs invokers x scheduling policy"
+    )
+    add_benchmark_args(cluster_parser, default="pyaes")
+    cluster_parser.add_argument("--config", default="gh",
+                                help="isolation configuration (default: gh)")
+    cluster_parser.add_argument("--invokers", type=int, nargs="+", default=[1, 2, 4])
+    cluster_parser.add_argument("--policies", nargs="+", choices=SCHEDULER_POLICIES,
+                                default=list(SCHEDULER_POLICIES))
+    cluster_parser.add_argument("--cores", type=int, default=2,
+                                help="cores per invoker (default: 2)")
+    cluster_parser.add_argument("--actions", type=int, default=8,
+                                help="deployed copies of the action (default: 8)")
+    cluster_parser.add_argument("--rounds", type=int, default=5,
+                                help="approximate requests per core in the window")
+    cluster_parser.add_argument("--max-queue", type=int, default=None,
+                                help="bound each per-action queue; overload is shed "
+                                     "and shows up in the rejected column "
+                                     "(default: unbounded, never rejects)")
+    cluster_parser.add_argument("--in-flight", type=int, default=None,
+                                help="outstanding requests per action (default: "
+                                     "sized to keep the cluster's cores busy); "
+                                     "raise above --max-queue to drive shedding")
+    cluster_parser.set_defaults(func=cmd_cluster_scaling)
     return parser
 
 

@@ -32,6 +32,16 @@ DEFAULT_LATENCY_CORES = 1
 #: Default number of invoker cores in the throughput experiments (§5.3).
 DEFAULT_THROUGHPUT_CORES = 4
 
+#: Scheduling policies a cluster controller can route invocations with.
+#: ``hash-affinity`` mirrors OpenWhisk's home-invoker assignment (an action
+#: hashes to one invoker so its warm containers are reused); the others are
+#: the classic load-balancing alternatives it is compared against.
+SCHEDULER_POLICIES = ("round-robin", "least-loaded", "hash-affinity")
+
+#: OpenWhisk's default idle-container keep-alive (10 minutes): a container
+#: cold-started on demand is reclaimed after sitting idle this long.
+DEFAULT_KEEP_ALIVE_SECONDS = 600.0
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -66,6 +76,22 @@ class SimulationConfig:
     platform_overhead_seconds: float = 0.026
     platform_jitter_seconds: float = 0.004
     seed: int = 20230501
+    #: Number of invokers in the deployment.  1 reproduces the paper's
+    #: single-invoker setup; >1 builds a cluster routed by ``scheduler_policy``.
+    invokers: int = 1
+    #: How the cluster controller picks an invoker per invocation.
+    scheduler_policy: str = "hash-affinity"
+    #: Idle lifetime of containers cold-started on demand; pre-warmed
+    #: containers are never evicted.
+    keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS
+    #: Upper bound on containers per action on each invoker.  ``None`` means
+    #: "same as the pre-warmed count" — no on-demand growth beyond the pool
+    #: an invoker would have been deployed with.
+    max_containers_per_action: Optional[int] = None
+    #: Bound on each per-action FIFO queue on an invoker.  When the queue is
+    #: full, further invocations are shed (rejected) instead of queued.
+    #: ``None`` leaves queues unbounded, the seed behaviour.
+    max_queue_per_action: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -80,6 +106,23 @@ class SimulationConfig:
             raise ValueError("platform_overhead_seconds must be >= 0")
         if self.platform_jitter_seconds < 0:
             raise ValueError("platform_jitter_seconds must be >= 0")
+        if self.invokers < 1:
+            raise ValueError("invokers must be >= 1")
+        if self.scheduler_policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler_policy {self.scheduler_policy!r}; "
+                f"choose one of {SCHEDULER_POLICIES}"
+            )
+        if self.keep_alive_seconds <= 0:
+            raise ValueError("keep_alive_seconds must be positive")
+        if self.max_containers_per_action is not None and (
+            self.max_containers_per_action < self.containers_per_action
+        ):
+            raise ValueError(
+                "max_containers_per_action must be >= containers_per_action"
+            )
+        if self.max_queue_per_action is not None and self.max_queue_per_action < 1:
+            raise ValueError("max_queue_per_action must be >= 1 (or None for unbounded)")
 
     def with_cores(self, cores: int) -> "SimulationConfig":
         """Return a copy of this config with a different core count."""
@@ -93,6 +136,14 @@ class SimulationConfig:
         """Return a copy with a different RNG seed."""
         return replace(self, seed=seed)
 
+    def with_invokers(self, invokers: int) -> "SimulationConfig":
+        """Return a copy with a different invoker count."""
+        return replace(self, invokers=invokers)
+
+    def with_policy(self, scheduler_policy: str) -> "SimulationConfig":
+        """Return a copy with a different scheduling policy."""
+        return replace(self, scheduler_policy=scheduler_policy)
+
 
 #: Configuration matching the paper's latency experiments: a 4-core VM with a
 #: single function container pinned to one core (§5.3 "Latency").
@@ -101,6 +152,18 @@ LATENCY_CONFIG = SimulationConfig(cores=1, containers_per_action=1)
 #: Configuration matching the paper's throughput experiments: a 4-core VM with
 #: 4 function containers and a saturating client (§5.3 "Measuring Throughput").
 THROUGHPUT_CONFIG = SimulationConfig(cores=4, containers_per_action=4)
+
+#: A small production-style cluster: 4 invokers of 4 cores each behind a
+#: hash-affinity scheduler, with on-demand container growth and bounded
+#: per-action queues (overload sheds instead of queueing without limit).
+CLUSTER_CONFIG = SimulationConfig(
+    cores=4,
+    containers_per_action=1,
+    invokers=4,
+    scheduler_policy="hash-affinity",
+    max_containers_per_action=4,
+    max_queue_per_action=64,
+)
 
 
 def pages_for_bytes(num_bytes: int) -> int:

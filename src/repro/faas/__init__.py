@@ -6,8 +6,22 @@ from repro.faas.proxy import ActionLoopProxy
 from repro.faas.container import Container, ContainerState
 from repro.faas.invoker import Invoker
 from repro.faas.controller import Controller
+from repro.faas.scheduler import (
+    HashAffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+    create_policy,
+    home_index,
+)
+from repro.faas.cluster import FaaSCluster
 from repro.faas.platform import FaaSPlatform
-from repro.faas.loadgen import ClosedLoopClient, SaturatingClient
+from repro.faas.loadgen import (
+    ClosedLoopClient,
+    MultiActionSaturatingClient,
+    SaturatingClient,
+)
 from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
 
 __all__ = [
@@ -19,9 +33,18 @@ __all__ = [
     "ContainerState",
     "Invoker",
     "Controller",
+    "Scheduler",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "HashAffinityPolicy",
+    "create_policy",
+    "home_index",
+    "FaaSCluster",
     "FaaSPlatform",
     "ClosedLoopClient",
     "SaturatingClient",
+    "MultiActionSaturatingClient",
     "LatencyStats",
     "MetricsCollector",
     "summarize",

@@ -1,0 +1,209 @@
+"""The cluster-scale FaaS deployment: N invokers behind one scheduler.
+
+:class:`FaaSCluster` generalises the paper's single-box deployment to the
+topology a production platform actually runs: clients talk to a controller,
+the controller routes each invocation to one of **N invokers** under a
+pluggable scheduling policy, and every invoker autoscales its container
+pools (cold starts on demand, keep-alive eviction) within bounded per-action
+queues that shed load instead of queueing without limit.
+
+The single-invoker :class:`~repro.faas.platform.FaaSPlatform` the paper's
+experiments use is the N=1 special case of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SimulationConfig
+from repro.errors import ActionNotFoundError, PlatformError
+from repro.faas.action import ActionSpec
+from repro.faas.container import Container
+from repro.faas.controller import Controller
+from repro.faas.invoker import Invoker
+from repro.faas.metrics import MetricsCollector
+from repro.faas.request import Invocation
+from repro.faas.scheduler import Scheduler, create_policy
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+class FaaSCluster:
+    """An OpenWhisk-like cluster: controller + scheduler + N invokers."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        *,
+        cost_model: Optional[CostModel] = None,
+        verify_isolation: bool = False,
+    ) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.rng_streams = RngStreams(self.config.seed)
+        self.loop = EventLoop()
+        self.invokers: List[Invoker] = [
+            Invoker(
+                self.loop,
+                cores=self.config.cores,
+                cost_model=self.cost_model,
+                # Invoker 0 keeps the seed deployment's stream name so the
+                # N=1 platform reproduces the original runs bit for bit.
+                rng=self.rng_streams.stream("invoker" if index == 0 else f"invoker-{index}"),
+                verify_isolation=verify_isolation,
+                invoker_id=f"invoker-{index}",
+                max_queue_per_action=self.config.max_queue_per_action,
+                keep_alive_seconds=self.config.keep_alive_seconds,
+            )
+            for index in range(self.config.invokers)
+        ]
+        self.scheduler = Scheduler(
+            self.invokers, create_policy(self.config.scheduler_policy)
+        )
+        self.controller = Controller(
+            self.loop,
+            self.scheduler,
+            platform_overhead_seconds=self.config.platform_overhead_seconds,
+            platform_jitter_seconds=self.config.platform_jitter_seconds,
+            rng=self.rng_streams.stream("controller"),
+        )
+        self.metrics = MetricsCollector()
+        self.per_action_metrics: Dict[str, MetricsCollector] = {}
+        self._specs: Dict[str, ActionSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        spec: ActionSpec,
+        containers: Optional[int] = None,
+        *,
+        max_containers: Optional[int] = None,
+    ) -> List[Container]:
+        """Deploy ``spec`` cluster-wide and return its pre-warmed containers.
+
+        The pre-warmed containers live on the action's home invoker; every
+        other invoker registers the action and may cold-start containers on
+        demand up to the per-invoker ``max_containers`` ceiling.
+        """
+        if spec.name in self._specs:
+            raise PlatformError(f"action {spec.name!r} is already deployed")
+        count = containers if containers is not None else self.config.containers_per_action
+        ceiling = max_containers
+        if ceiling is None:
+            ceiling = self.config.max_containers_per_action
+        if ceiling is None:
+            ceiling = count
+        if ceiling < count:
+            raise PlatformError("max_containers must be >= the pre-warmed count")
+        deployed = self.scheduler.deploy(spec, containers=count, max_containers=ceiling)
+        self._specs[spec.name] = spec
+        self.per_action_metrics[spec.name] = MetricsCollector()
+        return deployed
+
+    def containers(self, action: str) -> List[Container]:
+        """All containers of a deployed action, across every invoker."""
+        self._require_spec(action)
+        found: List[Container] = []
+        for invoker in self.invokers:
+            if invoker.hosts(action):
+                found.extend(invoker.pool(action))
+        return found
+
+    def action_spec(self, action: str) -> ActionSpec:
+        """The deployment descriptor of ``action``."""
+        return self._require_spec(action)
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.loop.now
+
+    def invoke_async(
+        self,
+        action: str,
+        payload: Optional[bytes] = None,
+        *,
+        caller: str = "anonymous",
+        on_complete: Optional[Callable[[Invocation], None]] = None,
+    ) -> Invocation:
+        """Submit one request without waiting for it to finish."""
+        spec = self._require_spec(action)
+        if payload is None:
+            payload = b"x" * spec.profile.input_bytes
+        invocation = Invocation(
+            action=action,
+            payload=payload,
+            caller=caller,
+            submitted_at=self.loop.now,
+        )
+
+        def record(finished: Invocation) -> None:
+            self.metrics.record(finished)
+            self.per_action_metrics[action].record(finished)
+            if on_complete is not None:
+                on_complete(finished)
+
+        self.controller.submit(invocation, record)
+        return invocation
+
+    def invoke_sync(
+        self,
+        action: str,
+        payload: Optional[bytes] = None,
+        *,
+        caller: str = "anonymous",
+    ) -> Invocation:
+        """Submit one request and run the simulation until it completes."""
+        finished: List[Invocation] = []
+        invocation = self.invoke_async(
+            action, payload, caller=caller, on_complete=finished.append
+        )
+        guard = 0
+        while not finished:
+            if not self.loop.step():
+                raise PlatformError(
+                    f"simulation ran out of events before {invocation.invocation_id} finished"
+                )
+            guard += 1
+            if guard > 1_000_000:
+                raise PlatformError("invocation did not complete within the event budget")
+        return invocation
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop (until drained, a time bound, or an event cap)."""
+        return self.loop.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def action_metrics(self, action: str) -> MetricsCollector:
+        """Per-action metrics collector."""
+        if action not in self.per_action_metrics:
+            raise PlatformError(f"action {action!r} was never deployed")
+        return self.per_action_metrics[action]
+
+    def cluster_stats(self) -> List[Dict[str, object]]:
+        """Per-invoker routing/dispatch/warmth counters."""
+        return self.scheduler.stats()
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Cluster-wide fraction of dispatches served by a warm container."""
+        dispatched = sum(inv.invocations_dispatched for inv in self.invokers)
+        if dispatched == 0:
+            return 0.0
+        return sum(inv.warm_hits for inv in self.invokers) / dispatched
+
+    def _require_spec(self, action: str) -> ActionSpec:
+        if action not in self._specs:
+            raise ActionNotFoundError(action)
+        return self._specs[action]

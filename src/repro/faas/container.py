@@ -60,8 +60,16 @@ class Container:
         kernel: Optional[SimKernel] = None,
         cost_model: Optional[CostModel] = None,
         rng: Optional[random.Random] = None,
+        dynamic: bool = False,
     ) -> None:
         self.spec = spec
+        #: True for containers cold-started on demand (autoscaled pools).
+        #: Only dynamic containers are subject to keep-alive eviction;
+        #: pre-warmed containers form the permanent floor of the pool.
+        self.dynamic = dynamic
+        #: Virtual time at which the container last became idle; maintained
+        #: by the invoker and used by its keep-alive eviction timer.
+        self.idle_since = 0.0
         self.container_id = f"{spec.name}-c{next(_container_counter):04d}"
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)

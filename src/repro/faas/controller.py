@@ -12,22 +12,34 @@ invoker-level overheads (§5.3.1).
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
-from repro.faas.invoker import Invoker
 from repro.faas.request import Invocation
 from repro.sim.events import EventLoop
 
 CompletionCallback = Callable[[Invocation], None]
 
 
+class InvocationBackend(Protocol):
+    """Anything the controller can hand invocations to.
+
+    Both a single :class:`~repro.faas.invoker.Invoker` and a cluster
+    :class:`~repro.faas.scheduler.Scheduler` satisfy this, so the same
+    controller fronts the paper's one-box deployment and an N-invoker
+    cluster.
+    """
+
+    def submit(self, invocation: Invocation, callback: CompletionCallback) -> None:
+        ...
+
+
 class Controller:
-    """Routes client requests to the invoker, adding platform latency."""
+    """Routes client requests to the invoker(s), adding platform latency."""
 
     def __init__(
         self,
         loop: EventLoop,
-        invoker: Invoker,
+        invoker: InvocationBackend,
         *,
         platform_overhead_seconds: float = 0.026,
         platform_jitter_seconds: float = 0.004,

@@ -6,6 +6,23 @@ request at a time to each container, and keeps a container out of the pool
 while its isolation mechanism performs post-request work (restoration).
 Each container is pinned to one core; the invoker never runs more containers
 concurrently than it has cores.
+
+Beyond the paper's fixed pre-warmed pools, the invoker supports the cluster
+substrate built on top of it:
+
+* **Registered actions** — an action can be *registered* without pre-warmed
+  containers (``register``); a cluster deploys warm containers only on an
+  action's home invoker and registers it everywhere else.
+* **Dynamic pools** — when a request arrives and the pool may still grow
+  (``max_containers``), the invoker cold-starts a container on demand,
+  paying the full initialisation cost (environment, runtime boot, warm-up,
+  snapshot) in virtual time before the container joins the idle pool.
+  Dynamic containers idle longer than the keep-alive are evicted by a
+  cancellable timer; pre-warmed containers are never evicted.
+* **Backpressure** — each action's FIFO queue can be bounded
+  (``max_queue_per_action``); on overflow the invoker sheds the invocation
+  with :attr:`~repro.faas.request.InvocationStatus.REJECTED` instead of
+  queueing without limit.
 """
 
 from __future__ import annotations
@@ -15,12 +32,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ActionNotFoundError, ContainerError, PlatformError
+from repro.config import DEFAULT_KEEP_ALIVE_SECONDS
+from repro.errors import ActionNotFoundError, PlatformError
 from repro.faas.action import ActionSpec
-from repro.faas.container import Container, ContainerExecution, ContainerState
+from repro.faas.container import Container
 from repro.faas.request import Invocation, InvocationStatus
 from repro.kernel.kernel import SimKernel
-from repro.sim.events import EventLoop
+from repro.sim.events import EventLoop, RecurringTimer
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 
 CompletionCallback = Callable[[Invocation], None]
@@ -31,9 +49,15 @@ class _ActionPool:
     """Warm containers and the waiting queue of one action."""
 
     spec: ActionSpec
+    #: Ceiling on containers this invoker may host for the action.
+    max_containers: int = 1
+    #: How many containers were pre-warmed at deploy time (the eviction floor).
+    prewarmed: int = 0
     containers: List[Container] = field(default_factory=list)
     idle: Deque[Container] = field(default_factory=deque)
     queue: Deque[Tuple[Invocation, CompletionCallback, float]] = field(default_factory=deque)
+    #: Cold starts in flight (containers initialising, not yet in the pool).
+    cold_starting: int = 0
 
 
 class Invoker:
@@ -48,47 +72,101 @@ class Invoker:
         cost_model: Optional[CostModel] = None,
         rng: Optional[random.Random] = None,
         verify_isolation: bool = False,
+        invoker_id: str = "invoker-0",
+        max_queue_per_action: Optional[int] = None,
+        keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS,
     ) -> None:
         if cores < 1:
             raise PlatformError("an invoker needs at least one core")
+        if keep_alive_seconds <= 0:
+            raise PlatformError("keep_alive_seconds must be positive")
+        if max_queue_per_action is not None and max_queue_per_action < 1:
+            raise PlatformError("max_queue_per_action must be >= 1 or None")
         self.loop = loop
         self.cores = cores
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
         self.rng = rng if rng is not None else random.Random(23)
         self.verify_isolation = verify_isolation
+        self.invoker_id = invoker_id
+        self.max_queue_per_action = max_queue_per_action
+        self.keep_alive_seconds = keep_alive_seconds
         self._pools: Dict[str, _ActionPool] = {}
         self._cores_in_use = 0
+        self._eviction_timer: Optional[RecurringTimer] = None
+        self.invocations_submitted = 0
         self.invocations_dispatched = 0
         self.invocations_completed = 0
+        self.invocations_rejected = 0
+        #: Dispatches served by an already-warm container (every dispatch
+        #: except the first request of a container booted on demand).
+        self.warm_hits = 0
+        #: Containers cold-started on demand over the invoker's lifetime.
+        self.cold_starts = 0
+        #: Dynamic containers reclaimed by keep-alive eviction.
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Deployment
     # ------------------------------------------------------------------
 
-    def deploy(self, spec: ActionSpec, containers: int = 1) -> List[Container]:
+    def deploy(
+        self,
+        spec: ActionSpec,
+        containers: int = 1,
+        *,
+        max_containers: Optional[int] = None,
+    ) -> List[Container]:
         """Deploy an action with ``containers`` pre-warmed container instances.
 
         Containers are initialised eagerly, mirroring the paper's setup that
-        deliberately excludes cold starts from the measurements.
+        deliberately excludes cold starts from the measurements.  When
+        ``max_containers`` exceeds ``containers``, the pool may additionally
+        grow on demand (cold starts) up to that ceiling.
         """
         if containers < 1:
             raise PlatformError("an action needs at least one container")
-        if spec.name in self._pools:
-            raise PlatformError(f"action {spec.name!r} is already deployed")
-        pool = _ActionPool(spec=spec)
-        for index in range(containers):
-            container = Container(
-                spec,
-                kernel=self.kernel,
-                cost_model=self.cost_model,
-                rng=random.Random(self.rng.getrandbits(32)),
-            )
+        if max_containers is not None and max_containers < containers:
+            raise PlatformError("max_containers must be >= the pre-warmed count")
+        pool = self._new_pool(
+            spec, containers if max_containers is None else max_containers
+        )
+        pool.prewarmed = containers
+        for _ in range(containers):
+            container = self._build_container(spec, dynamic=False)
             container.initialize()
             pool.containers.append(container)
             pool.idle.append(container)
-        self._pools[spec.name] = pool
         return list(pool.containers)
+
+    def register(self, spec: ActionSpec, *, max_containers: int = 1) -> None:
+        """Make an action known without pre-warming any containers.
+
+        The invoker will cold-start containers on demand (up to
+        ``max_containers``) when invocations for the action arrive.  This is
+        how a cluster installs an action on the invokers that are not its
+        home: they can absorb overflow or rerouted traffic, but pay the
+        cold-start cost when they do.
+        """
+        if max_containers < 1:
+            raise PlatformError("a registered action needs max_containers >= 1")
+        self._new_pool(spec, max_containers)
+
+    def _new_pool(self, spec: ActionSpec, max_containers: int) -> _ActionPool:
+        if spec.name in self._pools:
+            raise PlatformError(f"action {spec.name!r} is already deployed")
+        pool = _ActionPool(spec=spec, max_containers=max_containers)
+        self._pools[spec.name] = pool
+        return pool
+
+    def _build_container(self, spec: ActionSpec, *, dynamic: bool) -> Container:
+        return Container(
+            spec,
+            kernel=self.kernel,
+            cost_model=self.cost_model,
+            rng=random.Random(self.rng.getrandbits(32)),
+            dynamic=dynamic,
+        )
 
     def pool(self, action: str) -> List[Container]:
         """The containers deployed for ``action``."""
@@ -98,19 +176,48 @@ class Invoker:
         """The deployment descriptor of ``action``."""
         return self._require_pool(action).spec
 
+    def hosts(self, action: str) -> bool:
+        """True if the action is deployed or registered on this invoker."""
+        return action in self._pools
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
     def submit(self, invocation: Invocation, callback: CompletionCallback) -> None:
-        """Queue or dispatch one invocation."""
+        """Dispatch, queue, grow the pool for, or shed one invocation."""
         pool = self._require_pool(invocation.action)
         invocation.status = InvocationStatus.QUEUED
         arrival = self.loop.now
+        self.invocations_submitted += 1
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
-        else:
-            pool.queue.append((invocation, callback, arrival))
+            return
+        # Shed before considering growth: an invocation the bounded queue
+        # refuses is not demand, and must not trigger a container boot.
+        if (
+            self.max_queue_per_action is not None
+            and len(pool.queue) >= self.max_queue_per_action
+        ):
+            self.invocations_rejected += 1
+            invocation.mark_rejected(
+                self.loop.now,
+                f"{self.invoker_id}: queue for {invocation.action!r} is full "
+                f"({self.max_queue_per_action} waiting)",
+            )
+            callback(invocation)
+            return
+        # Grow the pool only when the action is container-bound: no idle
+        # container exists and the boots already in flight don't cover the
+        # queue (this invocation included).  When containers sit idle the
+        # bottleneck is cores, and another container would not help.
+        if (
+            not pool.idle
+            and pool.cold_starting <= len(pool.queue)
+            and self._can_cold_start(pool)
+        ):
+            self._cold_start(pool)
+        pool.queue.append((invocation, callback, arrival))
 
     def _dispatch(
         self,
@@ -126,6 +233,11 @@ class Invoker:
         invocation.queue_seconds = now - arrival
         invocation.status = InvocationStatus.RUNNING
         self.invocations_dispatched += 1
+        # A dispatch is a cold start only when it is the first request of a
+        # container booted on demand; everything else reuses a warm
+        # container, whether or not the invocation queued first.
+        if not (container.dynamic and container.requests_served == 0):
+            self.warm_hits += 1
 
         execution = container.execute(invocation, verify=self.verify_isolation)
         invocation.invoker_seconds = execution.invoker_seconds
@@ -139,6 +251,7 @@ class Invoker:
 
         def release() -> None:
             self._cores_in_use -= 1
+            container.idle_since = self.loop.now
             pool.idle.append(container)
             self._drain_queues()
 
@@ -157,6 +270,82 @@ class Invoker:
                     progressed = True
 
     # ------------------------------------------------------------------
+    # Dynamic pools: cold start on demand, keep-alive eviction
+    # ------------------------------------------------------------------
+
+    def _can_cold_start(self, pool: _ActionPool) -> bool:
+        # A container occupies its core through execution *and* post-request
+        # restoration, so containers beyond the core count can never run
+        # concurrently — growth is useful only up to min(ceiling, cores).
+        ceiling = min(pool.max_containers, self.cores)
+        return len(pool.containers) + pool.cold_starting < ceiling
+
+    def _cold_start(self, pool: _ActionPool) -> None:
+        """Start building one more container; it joins the pool when ready.
+
+        Approximation: the boot runs off-core — it delays the requests
+        waiting for the container by ``init.total_seconds`` of virtual time
+        but does not occupy an invoker core, so concurrent boots (e.g. many
+        actions scattered onto a cold invoker by a load-blind policy) are
+        not serialised against each other or against executing containers.
+        This under-charges heavy cold-start storms; see the ROADMAP item on
+        charging boot CPU time.
+        """
+        container = self._build_container(pool.spec, dynamic=True)
+        init = container.initialize()
+        pool.cold_starting += 1
+        self.cold_starts += 1
+
+        def ready() -> None:
+            pool.cold_starting -= 1
+            container.idle_since = self.loop.now
+            pool.containers.append(container)
+            pool.idle.append(container)
+            self._ensure_eviction_timer()
+            self._drain_queues()
+
+        self.loop.schedule(
+            init.total_seconds, ready, label=f"coldstart:{container.container_id}"
+        )
+
+    def _ensure_eviction_timer(self) -> None:
+        if self._eviction_timer is None or not self._eviction_timer.active:
+            self._eviction_timer = self.loop.schedule_recurring(
+                self.keep_alive_seconds,
+                self._evict_expired,
+                label=f"keep-alive:{self.invoker_id}",
+            )
+
+    def _evict_expired(self) -> None:
+        """Reclaim dynamic containers idle longer than the keep-alive."""
+        now = self.loop.now
+        for pool in self._pools.values():
+            if pool.queue:
+                # Work is waiting; idle containers are about to be used.
+                continue
+            expired = [
+                c
+                for c in pool.idle
+                if c.dynamic and now - c.idle_since >= self.keep_alive_seconds
+            ]
+            for container in expired:
+                pool.idle.remove(container)
+                pool.containers.remove(container)
+                container.shutdown()
+                self.evictions += 1
+        if not self._any_dynamic_containers() and self._eviction_timer is not None:
+            # Without dynamic containers there is nothing left to evict;
+            # cancelling lets drain-style event-loop runs terminate.
+            self._eviction_timer.cancel()
+            self._eviction_timer = None
+
+    def _any_dynamic_containers(self) -> bool:
+        return any(
+            pool.cold_starting > 0 or any(c.dynamic for c in pool.containers)
+            for pool in self._pools.values()
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -165,11 +354,41 @@ class Invoker:
         """Cores currently occupied by executing or restoring containers."""
         return self._cores_in_use
 
+    @property
+    def load(self) -> int:
+        """Busy cores plus waiting invocations (the least-loaded metric)."""
+        return self._cores_in_use + self.queued_invocations()
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of dispatched invocations served by a warm container."""
+        if self.invocations_dispatched == 0:
+            return 0.0
+        return self.warm_hits / self.invocations_dispatched
+
     def queued_invocations(self, action: Optional[str] = None) -> int:
         """Number of invocations waiting for a container."""
         if action is not None:
             return len(self._require_pool(action).queue)
         return sum(len(pool.queue) for pool in self._pools.values())
+
+    def queued_order(self, action: str) -> List[Invocation]:
+        """The waiting invocations of one action in FIFO order."""
+        return [entry[0] for entry in self._require_pool(action).queue]
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of the invoker's counters (for tables and debugging)."""
+        return {
+            "invoker": self.invoker_id,
+            "submitted": self.invocations_submitted,
+            "dispatched": self.invocations_dispatched,
+            "completed": self.invocations_completed,
+            "rejected": self.invocations_rejected,
+            "warm_hits": self.warm_hits,
+            "cold_starts": self.cold_starts,
+            "evictions": self.evictions,
+            "containers": sum(len(p.containers) for p in self._pools.values()),
+        }
 
     def _require_pool(self, action: str) -> _ActionPool:
         if action not in self._pools:

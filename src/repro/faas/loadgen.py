@@ -1,4 +1,4 @@
-"""Load generators for the two workload regimes the paper evaluates.
+"""Load generators for the workload regimes the evaluation exercises.
 
 * :class:`ClosedLoopClient` — the latency setup (§5.3 "Latency"): a single
   closed-loop client submits requests one at a time, with enough think time
@@ -8,17 +8,24 @@
   Throughput"): a client keeps a large number of requests in flight so the
   platform is always saturated; restoration time now delays subsequent
   requests and shows up in throughput.
+* :class:`MultiActionSaturatingClient` — the cluster variant: one saturating
+  stream per deployed action, so a scheduler has many actions to spread
+  across invokers.  Rejected (shed) invocations are re-issued to keep the
+  offered load constant, and are excluded from measured throughput.
+
+All clients drive any deployment that exposes the platform surface
+(``invoke_async`` / ``now`` / ``run`` / ``loop``) — both the single-invoker
+:class:`~repro.faas.platform.FaaSPlatform` and the multi-invoker
+:class:`~repro.faas.cluster.FaaSCluster`.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import PlatformError
-from repro.faas.platform import FaaSPlatform
-from repro.faas.request import Invocation
+from repro.faas.cluster import FaaSCluster
+from repro.faas.request import Invocation, InvocationStatus
 
 
 def _default_callers(count: int = 8) -> Callable[[int], str]:
@@ -35,7 +42,7 @@ class ClosedLoopClient:
 
     def __init__(
         self,
-        platform: FaaSPlatform,
+        platform: FaaSCluster,
         action: str,
         *,
         num_requests: int,
@@ -86,12 +93,129 @@ class ClosedLoopClient:
         return list(self.completed)
 
 
-class SaturatingClient:
-    """Keeps a fixed number of requests in flight to saturate the platform."""
+class MultiActionSaturatingClient:
+    """Saturates several actions at once (the cluster throughput workload).
+
+    Keeps ``in_flight_per_action`` requests outstanding against every action
+    in ``actions`` for ``duration_seconds`` of virtual time and reports the
+    *aggregate* sustained throughput.  With many actions, a cluster
+    scheduler has real routing decisions to make — hash affinity keeps each
+    action on its home invoker while round-robin scatters it — so this is
+    the workload the scaling experiments drive.
+    """
 
     def __init__(
         self,
-        platform: FaaSPlatform,
+        platform: FaaSCluster,
+        actions: Sequence[str],
+        *,
+        in_flight_per_action: int,
+        duration_seconds: float,
+        warmup_seconds: float = 0.0,
+        retry_backoff_seconds: float = 0.001,
+        payload: Optional[bytes] = None,
+        caller_for: Optional[Callable[[int], str]] = None,
+    ) -> None:
+        if not actions:
+            raise PlatformError("multi-action client needs at least one action")
+        if in_flight_per_action < 1:
+            raise PlatformError("saturating client needs at least one in-flight request")
+        if duration_seconds <= 0:
+            raise PlatformError("duration must be positive")
+        if retry_backoff_seconds <= 0:
+            raise PlatformError("retry backoff must be positive")
+        self.platform = platform
+        self.actions = list(actions)
+        self.in_flight_per_action = in_flight_per_action
+        self.duration_seconds = duration_seconds
+        self.warmup_seconds = warmup_seconds
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.payload = payload
+        self.caller_for = caller_for if caller_for is not None else _default_callers()
+        self.completed: List[Invocation] = []
+        self.rejected: List[Invocation] = []
+        self._issued = 0
+        self._start_time = 0.0
+        self._ran = False
+
+    def run(self) -> float:
+        """Run the experiment; returns aggregate sustained throughput (req/s)."""
+        self._ran = True
+        self._start_time = self.platform.now
+        deadline = self._start_time + self.duration_seconds
+
+        def issue_one(action: str) -> None:
+            index = self._issued
+            self._issued += 1
+            self.platform.invoke_async(
+                action,
+                self.payload,
+                caller=self.caller_for(index),
+                on_complete=on_complete,
+            )
+
+        def on_complete(invocation: Invocation) -> None:
+            if invocation.status is InvocationStatus.REJECTED:
+                self.rejected.append(invocation)
+                if self.platform.now < deadline:
+                    # Back off before retrying a shed request: with a
+                    # zero-overhead platform a same-timestamp re-issue would
+                    # be shed again without advancing virtual time, looping
+                    # the event loop forever at one instant.
+                    self.platform.loop.schedule(
+                        self.retry_backoff_seconds,
+                        lambda: issue_one(invocation.action),
+                        label="shed-retry",
+                    )
+            else:
+                self.completed.append(invocation)
+                if self.platform.now < deadline:
+                    issue_one(invocation.action)
+
+        for action in self.actions:
+            for _ in range(self.in_flight_per_action):
+                issue_one(action)
+        self.platform.run(until=deadline)
+        return len(self._in_window()) / self._window_seconds()
+
+    def _window_seconds(self) -> float:
+        window = self.duration_seconds - self.warmup_seconds
+        if window <= 0:
+            raise PlatformError("warmup consumed the whole measurement window")
+        return window
+
+    def _in_window(self) -> List[Invocation]:
+        """Completions inside the post-warmup measurement window."""
+        window_start = self._start_time + self.warmup_seconds
+        deadline = self._start_time + self.duration_seconds
+        return [
+            inv for inv in self.completed
+            if inv.status is InvocationStatus.COMPLETED
+            and window_start <= inv.completed_at <= deadline
+        ]
+
+    def per_action_throughput(self) -> Dict[str, float]:
+        """Sustained throughput of each action over the measurement window."""
+        if not self._ran:
+            raise PlatformError("per_action_throughput requires run() first")
+        window = self._window_seconds()
+        counts: Dict[str, int] = {action: 0 for action in self.actions}
+        for inv in self._in_window():
+            counts[inv.action] += 1
+        return {action: count / window for action, count in counts.items()}
+
+
+class SaturatingClient(MultiActionSaturatingClient):
+    """Keeps a fixed number of requests in flight against one action.
+
+    The single-action special case of :class:`MultiActionSaturatingClient`
+    — the paper's §5.3 throughput setup, where one saturating client drives
+    one deployed benchmark.
+    """
+
+    def __init__(
+        self,
+        platform: FaaSCluster,
         action: str,
         *,
         in_flight: int,
@@ -100,56 +224,14 @@ class SaturatingClient:
         payload: Optional[bytes] = None,
         caller_for: Optional[Callable[[int], str]] = None,
     ) -> None:
-        if in_flight < 1:
-            raise PlatformError("saturating client needs at least one in-flight request")
-        if duration_seconds <= 0:
-            raise PlatformError("duration must be positive")
-        self.platform = platform
+        super().__init__(
+            platform,
+            [action],
+            in_flight_per_action=in_flight,
+            duration_seconds=duration_seconds,
+            warmup_seconds=warmup_seconds,
+            payload=payload,
+            caller_for=caller_for,
+        )
         self.action = action
         self.in_flight = in_flight
-        self.duration_seconds = duration_seconds
-        self.warmup_seconds = warmup_seconds
-        self.payload = payload
-        self.caller_for = caller_for if caller_for is not None else _default_callers()
-        self.completed: List[Invocation] = []
-        self._issued = 0
-        self._start_time = 0.0
-
-    def run(self) -> float:
-        """Run the saturation experiment; returns sustained throughput (req/s).
-
-        Throughput is measured over the window after ``warmup_seconds`` and
-        up to the configured duration, counting completions in that window.
-        """
-        self._start_time = self.platform.now
-        deadline = self._start_time + self.duration_seconds
-
-        def issue_one() -> None:
-            index = self._issued
-            self._issued += 1
-            self.platform.invoke_async(
-                self.action,
-                self.payload,
-                caller=self.caller_for(index),
-                on_complete=on_complete,
-            )
-
-        def on_complete(invocation: Invocation) -> None:
-            self.completed.append(invocation)
-            if self.platform.now < deadline:
-                issue_one()
-
-        for _ in range(self.in_flight):
-            issue_one()
-        self.platform.run(until=deadline)
-
-        window_start = self._start_time + self.warmup_seconds
-        window_end = deadline
-        in_window = [
-            inv for inv in self.completed
-            if window_start <= inv.completed_at <= window_end
-        ]
-        window = window_end - window_start
-        if window <= 0:
-            raise PlatformError("warmup consumed the whole measurement window")
-        return len(in_window) / window

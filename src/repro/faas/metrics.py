@@ -94,11 +94,14 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._completed: List[Invocation] = []
         self._failed: List[Invocation] = []
+        self._rejected: List[Invocation] = []
 
     def record(self, invocation: Invocation) -> None:
         """Record a finished invocation."""
         if invocation.status is InvocationStatus.COMPLETED:
             self._completed.append(invocation)
+        elif invocation.status is InvocationStatus.REJECTED:
+            self._rejected.append(invocation)
         else:
             self._failed.append(invocation)
 
@@ -117,9 +120,30 @@ class MetricsCollector:
         return list(self._failed)
 
     @property
+    def rejected(self) -> List[Invocation]:
+        """All invocations shed by backpressure (bounded-queue overflow)."""
+        return list(self._rejected)
+
+    @property
     def num_completed(self) -> int:
         """Number of completed invocations."""
         return len(self._completed)
+
+    @property
+    def num_rejected(self) -> int:
+        """Number of invocations shed by backpressure."""
+        return len(self._rejected)
+
+    @property
+    def num_recorded(self) -> int:
+        """Total invocations recorded (completed + failed + rejected)."""
+        return len(self._completed) + len(self._failed) + len(self._rejected)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of recorded invocations that were shed."""
+        total = self.num_recorded
+        return len(self._rejected) / total if total else 0.0
 
     def e2e_latencies(self, skip_warmup: int = 0) -> List[float]:
         """End-to-end latencies, optionally skipping the first samples."""

@@ -1,33 +1,32 @@
-"""The FaaS platform facade.
+"""The single-invoker FaaS platform facade.
 
 :class:`FaaSPlatform` wires the pieces together the way the paper's
 deployment does — clients talk to a controller, the controller routes to an
 invoker hosting warm containers — and exposes the operations experiments
 need: deploy an action under a chosen isolation configuration, fire requests
 (synchronously or asynchronously), and collect latency/throughput metrics.
+
+Since the cluster refactor this is a thin specialisation of
+:class:`~repro.faas.cluster.FaaSCluster` with exactly one invoker: every
+scheduling policy routes all traffic to it, pools never grow beyond the
+pre-warmed count unless configured to, and the paper's experiments run
+unchanged.  Use :class:`FaaSCluster` directly for multi-invoker topologies.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Dict, List, Optional
+from typing import Optional
 
 from repro.config import SimulationConfig
 from repro.errors import PlatformError
-from repro.faas.action import ActionSpec
-from repro.faas.container import Container
-from repro.faas.controller import Controller
+from repro.faas.cluster import FaaSCluster
 from repro.faas.invoker import Invoker
-from repro.faas.metrics import MetricsCollector
-from repro.faas.request import Invocation
 from repro.kernel.kernel import SimKernel
-from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
-from repro.sim.events import EventLoop
-from repro.sim.rng import RngStreams
+from repro.sim.costs import CostModel
 
 
-class FaaSPlatform:
-    """An OpenWhisk-like deployment: controller + invoker + warm containers."""
+class FaaSPlatform(FaaSCluster):
+    """An OpenWhisk-like deployment: controller + one invoker + warm containers."""
 
     def __init__(
         self,
@@ -36,114 +35,21 @@ class FaaSPlatform:
         cost_model: Optional[CostModel] = None,
         verify_isolation: bool = False,
     ) -> None:
-        self.config = config if config is not None else SimulationConfig()
-        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
-        self.rng_streams = RngStreams(self.config.seed)
-        self.loop = EventLoop()
-        self.kernel = SimKernel(self.cost_model)
-        self.invoker = Invoker(
-            self.loop,
-            cores=self.config.cores,
-            kernel=self.kernel,
-            cost_model=self.cost_model,
-            rng=self.rng_streams.stream("invoker"),
-            verify_isolation=verify_isolation,
+        if config is not None and config.invokers != 1:
+            raise PlatformError(
+                "FaaSPlatform is the single-invoker deployment; "
+                "use FaaSCluster for invokers > 1"
+            )
+        super().__init__(
+            config, cost_model=cost_model, verify_isolation=verify_isolation
         )
-        self.controller = Controller(
-            self.loop,
-            self.invoker,
-            platform_overhead_seconds=self.config.platform_overhead_seconds,
-            platform_jitter_seconds=self.config.platform_jitter_seconds,
-            rng=self.rng_streams.stream("controller"),
-        )
-        self.metrics = MetricsCollector()
-        self.per_action_metrics: Dict[str, MetricsCollector] = {}
-
-    # ------------------------------------------------------------------
-    # Deployment
-    # ------------------------------------------------------------------
-
-    def deploy(self, spec: ActionSpec, containers: Optional[int] = None) -> List[Container]:
-        """Deploy ``spec`` with pre-warmed containers and return them."""
-        count = containers if containers is not None else self.config.containers_per_action
-        deployed = self.invoker.deploy(spec, containers=count)
-        self.per_action_metrics[spec.name] = MetricsCollector()
-        return deployed
-
-    def containers(self, action: str) -> List[Container]:
-        """The warm containers of a deployed action."""
-        return self.invoker.pool(action)
-
-    # ------------------------------------------------------------------
-    # Invocation
-    # ------------------------------------------------------------------
 
     @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self.loop.now
+    def invoker(self) -> Invoker:
+        """The deployment's only invoker."""
+        return self.invokers[0]
 
-    def invoke_async(
-        self,
-        action: str,
-        payload: Optional[bytes] = None,
-        *,
-        caller: str = "anonymous",
-        on_complete: Optional[Callable[[Invocation], None]] = None,
-    ) -> Invocation:
-        """Submit one request without waiting for it to finish."""
-        spec = self.invoker.action_spec(action)
-        if payload is None:
-            payload = b"x" * spec.profile.input_bytes
-        invocation = Invocation(
-            action=action,
-            payload=payload,
-            caller=caller,
-            submitted_at=self.loop.now,
-        )
-
-        def record(finished: Invocation) -> None:
-            self.metrics.record(finished)
-            self.per_action_metrics[action].record(finished)
-            if on_complete is not None:
-                on_complete(finished)
-
-        self.controller.submit(invocation, record)
-        return invocation
-
-    def invoke_sync(
-        self,
-        action: str,
-        payload: Optional[bytes] = None,
-        *,
-        caller: str = "anonymous",
-    ) -> Invocation:
-        """Submit one request and run the simulation until it completes."""
-        finished: List[Invocation] = []
-        invocation = self.invoke_async(
-            action, payload, caller=caller, on_complete=finished.append
-        )
-        guard = 0
-        while not finished:
-            if not self.loop.step():
-                raise PlatformError(
-                    f"simulation ran out of events before {invocation.invocation_id} finished"
-                )
-            guard += 1
-            if guard > 1_000_000:
-                raise PlatformError("invocation did not complete within the event budget")
-        return invocation
-
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run the event loop (until drained, a time bound, or an event cap)."""
-        return self.loop.run(until=until, max_events=max_events)
-
-    # ------------------------------------------------------------------
-    # Metrics
-    # ------------------------------------------------------------------
-
-    def action_metrics(self, action: str) -> MetricsCollector:
-        """Per-action metrics collector."""
-        if action not in self.per_action_metrics:
-            raise PlatformError(f"action {action!r} was never deployed")
-        return self.per_action_metrics[action]
+    @property
+    def kernel(self) -> SimKernel:
+        """The simulated kernel backing the invoker's containers."""
+        return self.invokers[0].kernel

@@ -25,6 +25,9 @@ class InvocationStatus(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Shed by backpressure: the action's bounded queue was full, so the
+    #: platform refused the invocation instead of queueing it.
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -69,3 +72,9 @@ class Invocation:
         self.completed_at = now
         self.error = error
         self.status = InvocationStatus.FAILED
+
+    def mark_rejected(self, now: float, reason: str = "queue full") -> None:
+        """Record that backpressure shed this invocation."""
+        self.completed_at = now
+        self.error = reason
+        self.status = InvocationStatus.REJECTED

@@ -1,0 +1,186 @@
+"""Cluster scheduling: routing invocations across multiple invokers.
+
+The paper's deployment has exactly one invoker, so its controller has no
+routing decision to make.  Growing the substrate into a cluster introduces
+the classic FaaS scheduling problem: which invoker should serve an
+invocation, given that warm containers — the thing Groundhog's economics
+depend on — live on specific invokers?
+
+Three policies are provided:
+
+* ``round-robin`` — spread invocations evenly, ignoring warmth and load.
+* ``least-loaded`` — send each invocation to the invoker with the fewest
+  busy cores plus waiting invocations.
+* ``hash-affinity`` — the OpenWhisk approach: every action hashes to a
+  *home* invoker and its invocations go there, maximising warm-container
+  hits at the price of per-action load skew.
+
+Deployment follows the same geometry regardless of policy: an action's
+pre-warmed containers live on its home invoker, and every other invoker
+merely *registers* the action so it can cold-start containers on demand if
+the routing policy sends traffic its way.  This keeps the topology identical
+across policies, so measured differences are purely due to routing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence
+
+from repro.config import SCHEDULER_POLICIES
+from repro.errors import PlatformError
+from repro.faas.action import ActionSpec
+from repro.faas.container import Container
+from repro.faas.invoker import CompletionCallback, Invoker
+from repro.faas.request import Invocation
+
+
+def home_index(action: str, num_invokers: int) -> int:
+    """The stable home invoker of an action (hash of its name).
+
+    Uses CRC-32 rather than :func:`hash` so the assignment is stable across
+    interpreter runs (``PYTHONHASHSEED`` does not perturb it).
+    """
+    if num_invokers < 1:
+        raise PlatformError("a cluster needs at least one invoker")
+    return zlib.crc32(action.encode("utf-8")) % num_invokers
+
+
+class SchedulingPolicy:
+    """Base class: picks the invoker index that should serve an invocation."""
+
+    name = "abstract"
+
+    def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycle through the invokers, one invocation each."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        index = self._next % len(invokers)
+        self._next += 1
+        return index
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Pick the invoker with the smallest load (ties go to the lowest index)."""
+
+    name = "least-loaded"
+
+    def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        return min(range(len(invokers)), key=lambda i: (invokers[i].load, i))
+
+
+class HashAffinityPolicy(SchedulingPolicy):
+    """Route every invocation of an action to the action's home invoker."""
+
+    name = "hash-affinity"
+
+    def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        return home_index(invocation.action, len(invokers))
+
+
+_POLICY_CLASSES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    HashAffinityPolicy.name: HashAffinityPolicy,
+}
+
+# Unconditional (not an assert): must hold even under `python -O`, so a
+# policy added to config.SCHEDULER_POLICIES without a class fails at import
+# rather than deep inside cluster construction.
+if set(_POLICY_CLASSES) != set(SCHEDULER_POLICIES):
+    raise RuntimeError(
+        "scheduler policy registry is out of sync with config.SCHEDULER_POLICIES"
+    )
+
+
+def create_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by its registry name."""
+    try:
+        return _POLICY_CLASSES[name]()
+    except KeyError:
+        raise PlatformError(
+            f"unknown scheduling policy {name!r}; choose one of {sorted(_POLICY_CLASSES)}"
+        ) from None
+
+
+class Scheduler:
+    """Routes invocations across a set of invokers under one policy.
+
+    Exposes the same ``submit(invocation, callback)`` surface as a single
+    :class:`~repro.faas.invoker.Invoker`, so the controller can sit in front
+    of either without knowing which it has.
+    """
+
+    def __init__(self, invokers: Sequence[Invoker], policy: SchedulingPolicy) -> None:
+        if not invokers:
+            raise PlatformError("a scheduler needs at least one invoker")
+        self.invokers = list(invokers)
+        self.policy = policy
+        self.routed_per_invoker: List[int] = [0] * len(self.invokers)
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        spec: ActionSpec,
+        *,
+        containers: int,
+        max_containers: int,
+    ) -> List[Container]:
+        """Install an action cluster-wide; pre-warm only the home invoker.
+
+        Returns the home invoker's pre-warmed containers (the cluster
+        analogue of the single-invoker deploy result).
+        """
+        home = home_index(spec.name, len(self.invokers))
+        deployed: List[Container] = []
+        for index, invoker in enumerate(self.invokers):
+            if index == home:
+                deployed = invoker.deploy(
+                    spec, containers=containers, max_containers=max_containers
+                )
+            else:
+                invoker.register(spec, max_containers=max_containers)
+        return deployed
+
+    def home_invoker(self, action: str) -> Invoker:
+        """The invoker that hosts an action's pre-warmed containers."""
+        return self.invokers[home_index(action, len(self.invokers))]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def submit(self, invocation: Invocation, callback: CompletionCallback) -> None:
+        """Route one invocation to the invoker chosen by the policy."""
+        index = self.policy.select(self.invokers, invocation)
+        if not 0 <= index < len(self.invokers):
+            raise PlatformError(
+                f"policy {self.policy.name!r} selected invalid invoker {index}"
+            )
+        self.routed_per_invoker[index] += 1
+        self.invokers[index].submit(invocation, callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-invoker counter snapshots plus routing counts."""
+        rows = []
+        for routed, invoker in zip(self.routed_per_invoker, self.invokers):
+            row = invoker.stats()
+            row["routed"] = routed
+            rows.append(row)
+        return rows

@@ -42,6 +42,61 @@ class Event:
         self.cancelled = True
 
 
+class RecurringTimer:
+    """A cancellable timer that re-arms itself after every firing.
+
+    Each firing schedules a fresh :class:`Event` through the normal
+    ``(time, sequence)`` path, so recurring timers interleave with one-shot
+    events deterministically: two runs that create the same timers in the
+    same order produce identical execution traces.
+
+    The timer stays armed until :meth:`cancel` is called (the callback may
+    cancel its own timer).  Because an armed timer always has one pending
+    event, holders must cancel it when the periodic work is no longer
+    needed, or a drain-style ``run()`` will keep firing it forever.
+    """
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        interval: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise EventLoopError(f"recurring timer interval must be positive (got {interval})")
+        self.loop = loop
+        self.interval = interval
+        self.callback = callback
+        self.label = label
+        self.fires = 0
+        self._cancelled = False
+        self._event: Optional[Event] = None
+        self._arm()
+
+    @property
+    def active(self) -> bool:
+        """True while the timer will keep firing."""
+        return not self._cancelled
+
+    def _arm(self) -> None:
+        self._event = self.loop.schedule(self.interval, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fires += 1
+        self.callback()
+        if not self._cancelled:
+            self._arm()
+
+    def cancel(self) -> None:
+        """Stop the timer; the pending firing (if any) is discarded."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
 class EventLoop:
     """A minimal deterministic discrete-event loop."""
 
@@ -82,6 +137,16 @@ class EventLoop:
         event = Event(time=time, sequence=next(self._sequence), callback=callback, label=label)
         heapq.heappush(self._queue, event)
         return event
+
+    def schedule_recurring(
+        self, interval: float, callback: Callable[[], None], label: str = ""
+    ) -> RecurringTimer:
+        """Schedule ``callback`` to run every ``interval`` seconds until cancelled.
+
+        The first firing happens ``interval`` seconds from now.  Returns the
+        :class:`RecurringTimer`, whose :meth:`RecurringTimer.cancel` stops it.
+        """
+        return RecurringTimer(self, interval, callback, label=label)
 
     def step(self) -> bool:
         """Execute the next pending event.

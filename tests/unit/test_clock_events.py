@@ -125,3 +125,57 @@ class TestEventLoop:
         loop.schedule(1.0, lambda: None)
         loop.run()
         assert loop.executed_events == 2
+
+
+class TestRecurringTimer:
+    def test_fires_at_interval_multiples_until_cancelled(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_recurring(1.0, lambda: fired.append(loop.now))
+        loop.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert timer.fires == 3
+        timer.cancel()
+        loop.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert not timer.active
+
+    def test_callback_can_cancel_own_timer(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_recurring(1.0, lambda: (fired.append(loop.now),
+                                                      timer.cancel() if len(fired) >= 2 else None))
+        loop.run()  # terminates because the timer cancels itself
+        assert fired == [1.0, 2.0]
+        assert loop.pending == 0
+
+    def test_cancel_before_first_fire(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.schedule_recurring(1.0, lambda: fired.append(loop.now))
+        timer.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_non_positive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(EventLoopError):
+            loop.schedule_recurring(0.0, lambda: None)
+        with pytest.raises(EventLoopError):
+            loop.schedule_recurring(-1.0, lambda: None)
+
+    def test_interleaves_deterministically_with_one_shots(self):
+        def trace() -> list:
+            loop = EventLoop()
+            seen = []
+            timer = loop.schedule_recurring(1.0, lambda: seen.append(("tick", loop.now)))
+            loop.schedule(1.0, lambda: seen.append(("shot", loop.now)))
+            loop.schedule(2.5, lambda: (seen.append(("stop", loop.now)), timer.cancel()))
+            loop.run()
+            return seen
+
+        first, second = trace(), trace()
+        assert first == second
+        # The recurring firing at t=1.0 was scheduled before the one-shot,
+        # so (time, sequence) ordering runs it first.
+        assert first == [("tick", 1.0), ("shot", 1.0), ("tick", 2.0), ("stop", 2.5)]
