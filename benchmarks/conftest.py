@@ -8,13 +8,26 @@ pytest with ``-s`` to see them) and attaches the headline values to
 The heavy lifting happens once per benchmark (``pedantic`` with one round);
 the numbers of interest are simulated durations, not wall-clock timings, so
 repeating the run would only repeat identical work.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the heavy cluster benchmarks to
+smoke-test scale (fewer rounds, shorter virtual durations) via the
+``bench_scale`` fixture — the CI smoke job uses this so the perf drivers
+stay exercised on every push without paying full benchmark wall-clock time.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+from typing import Callable, TypeVar
 
 import pytest
+
+T = TypeVar("T")
+
+#: True when the harness should run at reduced smoke scale.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip().lower() in (
+    "1", "true", "yes", "on",
+)
 
 
 def run_once(benchmark, func: Callable[[], object]):
@@ -26,3 +39,17 @@ def run_once(benchmark, func: Callable[[], object]):
 def bench_once():
     """Fixture wrapping :func:`run_once` for terser benchmark bodies."""
     return run_once
+
+
+@pytest.fixture
+def bench_scale() -> Callable[[T, T], T]:
+    """Pick between the full-scale and smoke-scale value of a knob.
+
+    Usage: ``rounds = bench_scale(4, 2)`` — 4 normally, 2 under
+    ``REPRO_BENCH_QUICK=1``.
+    """
+
+    def scale(full: T, quick: T) -> T:
+        return quick if BENCH_QUICK else full
+
+    return scale

@@ -13,12 +13,14 @@ from repro.analysis.stats import summarize_overheads
 from repro.workloads import all_benchmarks
 
 ROUNDS = 5
+SMOKE_ROUNDS = 2
 
 
-def test_fig5_relative_throughput_all_benchmarks(benchmark, bench_once):
+def test_fig5_relative_throughput_all_benchmarks(benchmark, bench_once, bench_scale):
+    rounds = bench_scale(ROUNDS, SMOKE_ROUNDS)
     result = bench_once(
         benchmark,
-        lambda: run_throughput_suite(all_benchmarks(), rounds=ROUNDS),
+        lambda: run_throughput_suite(all_benchmarks(), rounds=rounds),
     )
     print()
     print(throughput_table(result))

@@ -14,12 +14,14 @@ from repro.workloads import representative_benchmarks
 
 CORES = (1, 2, 3, 4)
 ROUNDS = 4
+SMOKE_ROUNDS = 2
 
 
-def test_fig7_throughput_scaling_with_cores(benchmark, bench_once):
+def test_fig7_throughput_scaling_with_cores(benchmark, bench_once, bench_scale):
+    rounds = bench_scale(ROUNDS, SMOKE_ROUNDS)
     sweeps = bench_once(
         benchmark,
-        lambda: run_scaling(representative_benchmarks(), cores=CORES, rounds=ROUNDS),
+        lambda: run_scaling(representative_benchmarks(), cores=CORES, rounds=rounds),
     )
     headers = ["benchmark"] + [f"gh @{c} cores" for c in CORES] + ["base @4", "gh-nop @4"]
     rows = []

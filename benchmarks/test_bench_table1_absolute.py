@@ -14,17 +14,21 @@ from repro.workloads import representative_benchmarks
 
 INVOCATIONS = 8
 ROUNDS = 5
+SMOKE_INVOCATIONS = 5
+SMOKE_ROUNDS = 2
 
 
-def _merged_results():
+def _merged_results(invocations: int, rounds: int):
     benchmarks = representative_benchmarks()
-    latency = run_latency_suite(benchmarks, invocations=INVOCATIONS)
-    throughput = run_throughput_suite(benchmarks, rounds=ROUNDS)
+    latency = run_latency_suite(benchmarks, invocations=invocations)
+    throughput = run_throughput_suite(benchmarks, rounds=rounds)
     return latency.merge(throughput)
 
 
-def test_table1_absolute_measurements(benchmark, bench_once):
-    result = bench_once(benchmark, _merged_results)
+def test_table1_absolute_measurements(benchmark, bench_once, bench_scale):
+    invocations = bench_scale(INVOCATIONS, SMOKE_INVOCATIONS)
+    rounds = bench_scale(ROUNDS, SMOKE_ROUNDS)
+    result = bench_once(benchmark, lambda: _merged_results(invocations, rounds))
 
     headers = ["benchmark", "config", "E2E lat (ms)", "Inv lat (ms)", "T'put (req/s)"]
     rows = []

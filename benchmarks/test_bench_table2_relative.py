@@ -15,14 +15,18 @@ from repro.workloads import representative_benchmarks
 
 INVOCATIONS = 8
 ROUNDS = 5
+SMOKE_INVOCATIONS = 5
+SMOKE_ROUNDS = 2
 
 
-def test_table2_relative_overheads(benchmark, bench_once):
+def test_table2_relative_overheads(benchmark, bench_once, bench_scale):
     benchmarks = representative_benchmarks()
+    invocations = bench_scale(INVOCATIONS, SMOKE_INVOCATIONS)
+    rounds = bench_scale(ROUNDS, SMOKE_ROUNDS)
 
     def run():
-        latency = run_latency_suite(benchmarks, invocations=INVOCATIONS)
-        throughput = run_throughput_suite(benchmarks, rounds=ROUNDS)
+        latency = run_latency_suite(benchmarks, invocations=invocations)
+        throughput = run_throughput_suite(benchmarks, rounds=rounds)
         return latency, throughput
 
     latency, throughput = bench_once(benchmark, run)

@@ -41,6 +41,7 @@ from repro.faas import (
     FaaSPlatform,
     Invocation,
     MultiActionSaturatingClient,
+    OpenLoopClient,
     SaturatingClient,
 )
 from repro.runtime import FunctionProfile, Language, build_runtime
@@ -75,6 +76,7 @@ __all__ = [
     "Container",
     "Invocation",
     "ClosedLoopClient",
+    "OpenLoopClient",
     "SaturatingClient",
     "MultiActionSaturatingClient",
     "FunctionProfile",

@@ -41,8 +41,14 @@ from repro.config import SimulationConfig
 from repro.core.restore import RestoreBreakdown
 from repro.faas.action import ActionSpec
 from repro.faas.cluster import FaaSCluster
-from repro.faas.loadgen import ClosedLoopClient, MultiActionSaturatingClient, SaturatingClient
+from repro.faas.loadgen import (
+    ClosedLoopClient,
+    MultiActionSaturatingClient,
+    OpenLoopClient,
+    SaturatingClient,
+)
 from repro.faas.metrics import LatencyStats
+from repro.faas.scheduler import home_index
 from repro.faas.platform import FaaSPlatform
 from repro.runtime.profiles import FunctionProfile, Language
 from repro.workloads.microbench import microbenchmark_profile
@@ -637,6 +643,36 @@ class ClusterMeasurement:
     warm_hit_rate: float
     cold_starts: int
     rejected: int
+    #: Max/mean invocations routed per invoker (1.0 = perfectly even); the
+    #: visible cost of hash affinity's per-action load skew.
+    routing_skew: float = 1.0
+    #: Invocations moved between invokers by work stealing.
+    steals: int = 0
+
+
+def _deploy_action_copies(
+    platform: FaaSCluster,
+    spec_or_profile,
+    config: str,
+    actions: int,
+    action_names: Optional[Sequence[str]] = None,
+    **mechanism_options,
+) -> List[str]:
+    """Deploy ``actions`` distinctly named copies of a benchmark action.
+
+    ``action_names`` overrides the generated names — used to construct
+    deliberately skewed deployments (names whose hash homes collide).
+    """
+    if action_names is not None and len(action_names) != actions:
+        raise ValueError("action_names must match the number of actions")
+    names = []
+    for index in range(actions):
+        action = _spec_for(spec_or_profile, config, **mechanism_options)
+        name = action_names[index] if action_names else f"{action.name}@{index}"
+        action = dataclasses.replace(action, name=name)
+        platform.deploy(action)
+        names.append(action.name)
+    return names
 
 
 def measure_cluster_throughput(
@@ -645,6 +681,7 @@ def measure_cluster_throughput(
     *,
     invokers: int = 4,
     policy: str = "hash-affinity",
+    work_stealing: bool = False,
     cores: int = 4,
     containers: int = 1,
     actions: int = 8,
@@ -668,17 +705,15 @@ def measure_cluster_throughput(
             containers_per_action=containers,
             invokers=invokers,
             scheduler_policy=policy,
+            work_stealing=work_stealing,
             max_containers_per_action=max(containers, cores),
             max_queue_per_action=max_queue_per_action,
             seed=seed,
         )
     )
-    names = []
-    for index in range(actions):
-        action = _spec_for(spec_or_profile, config, **mechanism_options)
-        action = dataclasses.replace(action, name=f"{action.name}@{index}")
-        platform.deploy(action)
-        names.append(action.name)
+    names = _deploy_action_copies(
+        platform, spec_or_profile, config, actions, **mechanism_options
+    )
     _, duration, warmup = _saturation_window(profile, rounds)
     if in_flight_per_action is None:
         # Enough outstanding work per action that the whole cluster's cores
@@ -701,6 +736,8 @@ def measure_cluster_throughput(
         warm_hit_rate=platform.warm_hit_rate,
         cold_starts=sum(inv.cold_starts for inv in platform.invokers),
         rejected=sum(inv.invocations_rejected for inv in platform.invokers),
+        routing_skew=platform.routing_skew,
+        steals=platform.steals,
     )
 
 
@@ -714,31 +751,244 @@ def run_cluster_scaling(
     actions: int = 8,
     rounds: int = 5,
     seed: int = 20230501,
-) -> Dict[str, SweepResult]:
+) -> Dict[str, Dict[str, SweepResult]]:
     """Fig. 7 cluster variant: aggregate throughput vs invoker count per policy.
 
-    Returns one sweep per benchmark; each series is a scheduling policy and
-    each point is the aggregate saturated throughput of that many invokers.
+    Returns two sweeps per benchmark, keyed ``"throughput"`` and ``"skew"``;
+    each series is a scheduling policy, each x value an invoker count.  The
+    skew sweep (max/mean invocations routed per invoker) makes the load
+    imbalance behind hash affinity's warm hits visible next to its
+    throughput.
     """
     if benchmarks is None:
         benchmarks = representative_benchmarks()[:2]
-    sweeps: Dict[str, SweepResult] = {}
+    sweeps: Dict[str, Dict[str, SweepResult]] = {}
     for spec in benchmarks:
         if not _applicable(config, spec):
             continue
-        sweep = SweepResult(x_label="invokers", y_label="aggregate throughput (req/s)")
+        throughput_sweep = SweepResult(
+            x_label="invokers", y_label="aggregate throughput (req/s)"
+        )
+        skew_sweep = SweepResult(
+            x_label="invokers", y_label="routing skew (max/mean)"
+        )
         for policy in policies:
-            points = []
+            throughput_points = []
+            skew_points = []
             for count in invoker_counts:
                 measurement = measure_cluster_throughput(
                     spec, config,
                     invokers=count, policy=policy, cores=cores,
                     actions=actions, rounds=rounds, seed=seed,
                 )
-                points.append((float(count), measurement.throughput_rps))
-            sweep.add(Series.from_points(policy, points))
-        sweeps[spec.qualified_name] = sweep
+                throughput_points.append((float(count), measurement.throughput_rps))
+                skew_points.append((float(count), measurement.routing_skew))
+            throughput_sweep.add(Series.from_points(policy, throughput_points))
+            skew_sweep.add(Series.from_points(policy, skew_points))
+        sweeps[spec.qualified_name] = {
+            "throughput": throughput_sweep,
+            "skew": skew_sweep,
+        }
     return sweeps
+
+
+# ---------------------------------------------------------------------------
+# Latency under open-loop load — policies × offered load
+# ---------------------------------------------------------------------------
+
+
+def strategy_label(policy: str, work_stealing: bool) -> str:
+    """Display label of a routing strategy: the policy, ``+steal`` when on."""
+    return f"{policy}+steal" if work_stealing else policy
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (strategy, offered load) point of the latency-under-load curve."""
+
+    benchmark: str
+    config: str
+    policy: str
+    work_stealing: bool
+    invokers: int
+    offered_rps: float
+    achieved_rps: float
+    goodput_fraction: float
+    p50_ms: Optional[float]
+    p95_ms: Optional[float]
+    rejected: int
+    cold_starts: int
+    steals: int
+    warm_hit_rate: float
+    routing_skew: float = 1.0
+
+    @property
+    def strategy(self) -> str:
+        """Display label: the policy, ``+steal`` when stealing is on."""
+        return strategy_label(self.policy, self.work_stealing)
+
+
+def measure_latency_under_load(
+    spec_or_profile,
+    config: str = "gh",
+    *,
+    offered_rps: float,
+    policy: str = "warm-aware",
+    work_stealing: bool = False,
+    invokers: int = 4,
+    cores: int = 2,
+    containers: int = 1,
+    actions: int = 8,
+    duration_seconds: float = 4.0,
+    warmup_seconds: float = 0.5,
+    max_queue_per_action: Optional[int] = None,
+    action_names: Optional[Sequence[str]] = None,
+    seed: int = 20230501,
+    **mechanism_options,
+) -> LoadPoint:
+    """One open-loop run: Poisson arrivals at ``offered_rps`` into a cluster.
+
+    Arrivals are independent of completions, so a strategy that burns core
+    time on cold starts falls behind visibly: achieved throughput flattens
+    below the offered load and queueing inflates the latency percentiles.
+    ``action_names`` can force a deliberately skewed deployment (e.g. names
+    whose home invokers collide, the hash-affinity worst case).
+    """
+    profile = _profile_of(spec_or_profile)
+    platform = FaaSCluster(
+        SimulationConfig(
+            cores=cores,
+            containers_per_action=containers,
+            invokers=invokers,
+            scheduler_policy=policy,
+            work_stealing=work_stealing,
+            max_containers_per_action=max(containers, cores),
+            max_queue_per_action=max_queue_per_action,
+            seed=seed,
+        )
+    )
+    names = _deploy_action_copies(
+        platform, spec_or_profile, config, actions,
+        action_names=action_names, **mechanism_options,
+    )
+    client = OpenLoopClient(
+        platform,
+        names,
+        rate_rps=offered_rps,
+        duration_seconds=duration_seconds,
+        warmup_seconds=warmup_seconds,
+    )
+    result = client.run()
+    return LoadPoint(
+        benchmark=profile.qualified_name,
+        config=config,
+        policy=policy,
+        work_stealing=work_stealing,
+        invokers=invokers,
+        offered_rps=result.offered_rps,
+        achieved_rps=result.achieved_rps,
+        goodput_fraction=result.goodput_fraction,
+        p50_ms=result.e2e.median * 1000 if result.e2e else None,
+        p95_ms=result.e2e.p95 * 1000 if result.e2e else None,
+        rejected=result.rejected,
+        cold_starts=sum(inv.cold_starts for inv in platform.invokers),
+        steals=platform.steals,
+        warm_hit_rate=platform.warm_hit_rate,
+        routing_skew=platform.routing_skew,
+    )
+
+
+def colliding_action_names(
+    count: int, *, invokers: int, home: int = 0, prefix: str = "skew"
+) -> List[str]:
+    """Generate action names whose hash homes all collide on one invoker.
+
+    The hash-affinity worst case: every action's pre-warmed containers land
+    on the same home, so affinity funnels the whole offered load into one
+    invoker while the rest of the cluster idles.
+    """
+    if not 0 <= home < invokers:
+        raise ValueError(f"home must be in [0, {invokers}) (got {home})")
+    names: List[str] = []
+    index = 0
+    while len(names) < count:
+        name = f"{prefix}-{index}"
+        if home_index(name, invokers) == home:
+            names.append(name)
+        index += 1
+    return names
+
+
+#: The routing strategies the latency-under-load experiment compares:
+#: (policy, work_stealing) pairs.
+LOAD_STRATEGIES = (
+    ("least-loaded", False),
+    ("hash-affinity", False),
+    ("warm-aware", True),
+)
+
+
+def estimate_cluster_capacity_rps(
+    spec_or_profile, *, invokers: int = 4, cores: int = 2
+) -> float:
+    """Rough aggregate capacity of a warm cluster, for sizing offered loads."""
+    profile = _profile_of(spec_or_profile)
+    per_request_estimate, _, _ = _saturation_window(profile, 1)
+    return invokers * cores / per_request_estimate
+
+
+def run_latency_under_load(
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    config: str = "gh",
+    strategies: Sequence[Tuple[str, bool]] = LOAD_STRATEGIES,
+    load_factors: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    invokers: int = 4,
+    cores: int = 2,
+    containers: int = 1,
+    actions: int = 8,
+    duration_seconds: float = 4.0,
+    warmup_seconds: float = 0.5,
+    seed: int = 20230501,
+) -> Dict[str, SweepResult]:
+    """Latency-under-load curves: open-loop arrivals swept across strategies.
+
+    ``load_factors`` scale the estimated warm capacity of the cluster; at
+    factor 1.0 a strategy only keeps up if it wastes no core time on
+    avoidable cold starts.  Returns sweeps keyed ``"throughput"`` (achieved
+    vs offered req/s) and ``"p95_ms"`` (p95 end-to-end latency vs offered),
+    one series per strategy.
+    """
+    if spec is None:
+        spec = representative_benchmarks()[0]
+    capacity = estimate_cluster_capacity_rps(spec, invokers=invokers, cores=cores)
+    throughput_sweep = SweepResult(
+        x_label="offered load (req/s)", y_label="achieved throughput (req/s)"
+    )
+    latency_sweep = SweepResult(
+        x_label="offered load (req/s)", y_label="p95 e2e latency (ms)"
+    )
+    for policy, stealing in strategies:
+        throughput_points = []
+        latency_points = []
+        label = strategy_label(policy, stealing)
+        for factor in load_factors:
+            offered = capacity * factor
+            point = measure_latency_under_load(
+                spec, config,
+                offered_rps=offered, policy=policy, work_stealing=stealing,
+                invokers=invokers, cores=cores, containers=containers,
+                actions=actions, duration_seconds=duration_seconds,
+                warmup_seconds=warmup_seconds, seed=seed,
+            )
+            throughput_points.append((point.offered_rps, point.achieved_rps))
+            # A strategy that completed nothing inside the window has
+            # unbounded latency at this load, not zero.
+            p95 = point.p95_ms if point.p95_ms is not None else float("inf")
+            latency_points.append((point.offered_rps, p95))
+        throughput_sweep.add(Series.from_points(label, throughput_points))
+        latency_sweep.add(Series.from_points(label, latency_points))
+    return {"throughput": throughput_sweep, "p95_ms": latency_sweep}
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,8 @@ Usage (after installing the package)::
     python -m repro.cli lifecycle [--benchmark NAME] [--language p|c|n]
     python -m repro.cli cluster-scaling [--benchmark NAME] [--invokers 1 2 4]
                                         [--policies round-robin hash-affinity]
+    python -m repro.cli latency-under-load [--benchmark NAME]
+                                           [--load-factors 0.5 1.0 1.25]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -22,7 +24,10 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.experiments import (
+    LOAD_STRATEGIES,
+    estimate_cluster_capacity_rps,
     measure_cluster_throughput,
+    measure_latency_under_load,
     measure_restores,
     run_lifecycle,
 )
@@ -117,6 +122,7 @@ def cmd_cluster_scaling(args: argparse.Namespace) -> int:
             m = measure_cluster_throughput(
                 spec, args.config,
                 invokers=invokers, policy=policy, cores=args.cores,
+                work_stealing=args.work_stealing,
                 actions=args.actions, rounds=args.rounds,
                 max_queue_per_action=args.max_queue,
                 in_flight_per_action=args.in_flight,
@@ -128,13 +134,59 @@ def cmd_cluster_scaling(args: argparse.Namespace) -> int:
                 f"{m.warm_hit_rate * 100:.0f}%",
                 str(m.cold_starts),
                 str(m.rejected),
+                f"{m.routing_skew:.2f}",
+                str(m.steals),
             ])
     print(render_table(
-        ["policy", "invokers", "throughput (req/s)", "warm hits", "cold starts", "rejected"],
+        ["policy", "invokers", "throughput (req/s)", "warm hits", "cold starts",
+         "rejected", "skew (max/mean)", "steals"],
         rows,
         title=(
             f"Cluster scaling — {spec.qualified_name} under {args.config} "
             f"({args.actions} actions, {args.cores} cores/invoker)"
+        ),
+    ))
+    return 0
+
+
+def cmd_latency_under_load(args: argparse.Namespace) -> int:
+    """Open-loop load sweep: achieved throughput and latency per strategy."""
+    spec = _spec_from_args(args)
+    capacity = estimate_cluster_capacity_rps(
+        spec, invokers=args.invokers, cores=args.cores
+    )
+    # Warmup must fall inside the run whatever --duration was given.
+    warmup = args.warmup if args.warmup is not None else min(0.5, args.duration / 8)
+    rows = []
+    for policy, stealing in LOAD_STRATEGIES:
+        for factor in args.load_factors:
+            point = measure_latency_under_load(
+                spec, args.config,
+                offered_rps=capacity * factor,
+                policy=policy, work_stealing=stealing,
+                invokers=args.invokers, cores=args.cores,
+                actions=args.actions,
+                duration_seconds=args.duration,
+                warmup_seconds=warmup,
+            )
+            rows.append([
+                point.strategy,
+                f"{point.offered_rps:.1f}",
+                f"{point.achieved_rps:.1f}",
+                f"{point.goodput_fraction * 100:.0f}%",
+                f"{point.p50_ms:.1f}" if point.p50_ms is not None else "-",
+                f"{point.p95_ms:.1f}" if point.p95_ms is not None else "-",
+                str(point.cold_starts),
+                str(point.steals),
+            ])
+    print(render_table(
+        ["strategy", "offered (req/s)", "achieved (req/s)", "goodput",
+         "p50 (ms)", "p95 (ms)", "cold starts", "steals"],
+        rows,
+        title=(
+            f"Latency under open-loop load — {spec.qualified_name} under "
+            f"{args.config} ({args.invokers} invokers x {args.cores} cores, "
+            f"{args.actions} actions)"
         ),
     ))
     return 0
@@ -192,7 +244,34 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="outstanding requests per action (default: "
                                      "sized to keep the cluster's cores busy); "
                                      "raise above --max-queue to drive shedding")
+    cluster_parser.add_argument("--work-stealing", action="store_true",
+                                help="let invokers with spare capacity pull queued "
+                                     "invocations from saturated peers")
     cluster_parser.set_defaults(func=cmd_cluster_scaling)
+
+    load_parser = subparsers.add_parser(
+        "latency-under-load",
+        help="open-loop (Poisson) load sweep across scheduling strategies",
+    )
+    add_benchmark_args(load_parser, default="pyaes")
+    load_parser.add_argument("--config", default="gh",
+                             help="isolation configuration (default: gh)")
+    load_parser.add_argument("--invokers", type=int, default=4)
+    load_parser.add_argument("--cores", type=int, default=2,
+                             help="cores per invoker (default: 2)")
+    load_parser.add_argument("--actions", type=int, default=8,
+                             help="deployed copies of the action (default: 8)")
+    load_parser.add_argument("--load-factors", type=float, nargs="+",
+                             default=[0.5, 1.0, 1.25],
+                             help="offered load as fractions of the estimated "
+                                  "warm cluster capacity")
+    load_parser.add_argument("--duration", type=float, default=4.0,
+                             help="virtual seconds of arrivals per point")
+    load_parser.add_argument("--warmup", type=float, default=None,
+                             help="virtual seconds excluded from the "
+                                  "measurement window (default: duration/8, "
+                                  "capped at 0.5s)")
+    load_parser.set_defaults(func=cmd_latency_under_load)
     return parser
 
 

@@ -34,9 +34,11 @@ DEFAULT_THROUGHPUT_CORES = 4
 
 #: Scheduling policies a cluster controller can route invocations with.
 #: ``hash-affinity`` mirrors OpenWhisk's home-invoker assignment (an action
-#: hashes to one invoker so its warm containers are reused); the others are
-#: the classic load-balancing alternatives it is compared against.
-SCHEDULER_POLICIES = ("round-robin", "least-loaded", "hash-affinity")
+#: hashes to one invoker so its warm containers are reused); ``warm-aware``
+#: blends load with warm-container availability (a load-balancing policy
+#: that is not blind to cold-start cost); the others are the classic
+#: load-balancing alternatives they are compared against.
+SCHEDULER_POLICIES = ("round-robin", "least-loaded", "hash-affinity", "warm-aware")
 
 #: OpenWhisk's default idle-container keep-alive (10 minutes): a container
 #: cold-started on demand is reclaimed after sitting idle this long.
@@ -92,6 +94,11 @@ class SimulationConfig:
     #: full, further invocations are shed (rejected) instead of queued.
     #: ``None`` leaves queues unbounded, the seed behaviour.
     max_queue_per_action: Optional[int] = None
+    #: Cross-invoker work stealing: when enabled, an invoker with spare
+    #: capacity pulls queued invocations from a saturated peer's FIFO
+    #: instead of letting them back up (see
+    #: :class:`~repro.faas.scheduler.Scheduler`).
+    work_stealing: bool = False
 
     def __post_init__(self) -> None:
         if self.cores < 1:

@@ -4,7 +4,7 @@ from repro.faas.request import Invocation, InvocationStatus
 from repro.faas.action import ActionSpec
 from repro.faas.proxy import ActionLoopProxy
 from repro.faas.container import Container, ContainerState
-from repro.faas.invoker import Invoker
+from repro.faas.invoker import Invoker, InvokerSnapshot
 from repro.faas.controller import Controller
 from repro.faas.scheduler import (
     HashAffinityPolicy,
@@ -12,6 +12,7 @@ from repro.faas.scheduler import (
     RoundRobinPolicy,
     Scheduler,
     SchedulingPolicy,
+    WarmAwarePolicy,
     create_policy,
     home_index,
 )
@@ -20,6 +21,8 @@ from repro.faas.platform import FaaSPlatform
 from repro.faas.loadgen import (
     ClosedLoopClient,
     MultiActionSaturatingClient,
+    OpenLoopClient,
+    OpenLoopResult,
     SaturatingClient,
 )
 from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
@@ -32,17 +35,21 @@ __all__ = [
     "Container",
     "ContainerState",
     "Invoker",
+    "InvokerSnapshot",
     "Controller",
     "Scheduler",
     "SchedulingPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "HashAffinityPolicy",
+    "WarmAwarePolicy",
     "create_policy",
     "home_index",
     "FaaSCluster",
     "FaaSPlatform",
     "ClosedLoopClient",
+    "OpenLoopClient",
+    "OpenLoopResult",
     "SaturatingClient",
     "MultiActionSaturatingClient",
     "LatencyStats",

@@ -59,7 +59,9 @@ class FaaSCluster:
             for index in range(self.config.invokers)
         ]
         self.scheduler = Scheduler(
-            self.invokers, create_policy(self.config.scheduler_policy)
+            self.invokers,
+            create_policy(self.config.scheduler_policy),
+            work_stealing=self.config.work_stealing,
         )
         self.controller = Controller(
             self.loop,
@@ -202,6 +204,16 @@ class FaaSCluster:
         if dispatched == 0:
             return 0.0
         return sum(inv.warm_hits for inv in self.invokers) / dispatched
+
+    @property
+    def steals(self) -> int:
+        """Invocations moved between invokers by work stealing."""
+        return self.scheduler.steals
+
+    @property
+    def routing_skew(self) -> float:
+        """Max/mean invocations routed per invoker (1.0 = perfectly even)."""
+        return self.scheduler.routing_skew()
 
     def _require_spec(self, action: str) -> ActionSpec:
         if action not in self._specs:

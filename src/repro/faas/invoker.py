@@ -16,13 +16,25 @@ substrate built on top of it:
 * **Dynamic pools** — when a request arrives and the pool may still grow
   (``max_containers``), the invoker cold-starts a container on demand,
   paying the full initialisation cost (environment, runtime boot, warm-up,
-  snapshot) in virtual time before the container joins the idle pool.
-  Dynamic containers idle longer than the keep-alive are evicted by a
-  cancellable timer; pre-warmed containers are never evicted.
+  snapshot) before the container joins the idle pool.  Dynamic containers
+  idle longer than the keep-alive are evicted by a cancellable timer;
+  pre-warmed containers are never evicted.
+* **Core-charged cold starts** — a container boot is CPU work: it occupies
+  one invoker core for the whole initialisation, serialised against
+  executing containers and against other boots.  Boots the invoker cannot
+  start immediately wait in a FIFO backlog until a core frees (dispatching
+  queued requests to warm containers takes priority over starting boots).
+  This charges cold-start storms honestly: a load-blind policy that
+  scatters requests onto cold invokers pays for every boot in core time.
 * **Backpressure** — each action's FIFO queue can be bounded
   (``max_queue_per_action``); on overflow the invoker sheds the invocation
   with :attr:`~repro.faas.request.InvocationStatus.REJECTED` instead of
   queueing without limit.
+* **Warmth surface** — :meth:`Invoker.snapshot` exports a structured view
+  (idle-warm containers per action, queue depth, boots in flight, cores in
+  use) that scheduling policies consume instead of a single scalar load,
+  and :meth:`Invoker.release_queued` / :meth:`Invoker.adopt` let a cluster
+  scheduler move queued invocations between invokers (work stealing).
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.config import DEFAULT_KEEP_ALIVE_SECONDS
 from repro.errors import ActionNotFoundError, PlatformError
@@ -56,8 +68,53 @@ class _ActionPool:
     containers: List[Container] = field(default_factory=list)
     idle: Deque[Container] = field(default_factory=deque)
     queue: Deque[Tuple[Invocation, CompletionCallback, float]] = field(default_factory=deque)
-    #: Cold starts in flight (containers initialising, not yet in the pool).
+    #: Cold starts in flight (booting on a core or waiting in the backlog,
+    #: not yet in the pool).
     cold_starting: int = 0
+
+
+@dataclass(frozen=True)
+class InvokerSnapshot:
+    """A structured view of one invoker's instantaneous state.
+
+    This is the signal surface scheduling policies consume: instead of a
+    single scalar load they see *where* the warm containers are, how much
+    work is already waiting, and how many boots are in flight — the
+    ingredients a warmth-aware routing decision needs.
+    """
+
+    invoker_id: str
+    #: Total cores and cores currently occupied (execution, restoration,
+    #: or a container boot — boots are charged to cores).
+    cores: int
+    cores_in_use: int
+    #: Boots occupying a core right now / waiting in the backlog for one.
+    booting: int
+    pending_boots: int
+    #: Invocations waiting in per-action FIFO queues, total.
+    queued: int
+    #: Idle warm containers per action (only actions with at least one).
+    idle_warm: Mapping[str, int]
+    #: All containers per action, busy or idle (only non-empty pools).
+    warm_total: Mapping[str, int]
+    #: Boots in flight per action (only actions with at least one).
+    boots_in_flight: Mapping[str, int]
+    #: Further containers the invoker may still boot, per action.
+    growth_headroom: Mapping[str, int]
+
+    @property
+    def load(self) -> int:
+        """The least-loaded metric: busy cores + backlogged boots + queue."""
+        return self.cores_in_use + self.pending_boots + self.queued
+
+    @property
+    def free_cores(self) -> int:
+        """Cores with nothing to run right now."""
+        return self.cores - self.cores_in_use
+
+    def warmth(self, action: str) -> int:
+        """Containers (existing or booting) this invoker has for ``action``."""
+        return self.warm_total.get(action, 0) + self.boots_in_flight.get(action, 0)
 
 
 class Invoker:
@@ -93,7 +150,15 @@ class Invoker:
         self.keep_alive_seconds = keep_alive_seconds
         self._pools: Dict[str, _ActionPool] = {}
         self._cores_in_use = 0
+        #: Boots currently occupying a core.
+        self._booting = 0
+        #: Boots requested but waiting for a free core, in request order.
+        self._boot_backlog: Deque[Tuple[_ActionPool, Container]] = deque()
         self._eviction_timer: Optional[RecurringTimer] = None
+        #: Hook a cluster scheduler installs to learn when this invoker has
+        #: a free core it cannot use (nothing dispatchable, no boot to
+        #: start) — the moment work stealing becomes worthwhile.
+        self.spare_capacity_callback: Optional[Callable[["Invoker"], None]] = None
         self.invocations_submitted = 0
         self.invocations_dispatched = 0
         self.invocations_completed = 0
@@ -101,10 +166,20 @@ class Invoker:
         #: Dispatches served by an already-warm container (every dispatch
         #: except the first request of a container booted on demand).
         self.warm_hits = 0
-        #: Containers cold-started on demand over the invoker's lifetime.
+        #: Containers cold-started on demand over the invoker's lifetime
+        #: (counted when the boot is requested; see ``boots_cancelled``).
         self.cold_starts = 0
+        #: Backlogged boots cancelled before they reached a core (their
+        #: demand disappeared, e.g. the queued work was stolen away).
+        self.boots_cancelled = 0
+        #: Core-seconds spent booting containers (the cold-start CPU bill).
+        self.boot_core_seconds = 0.0
         #: Dynamic containers reclaimed by keep-alive eviction.
         self.evictions = 0
+        #: Invocations this invoker pulled from peers (work stealing).
+        self.steals = 0
+        #: Invocations peers pulled out of this invoker's queues.
+        self.stolen_away = 0
 
     # ------------------------------------------------------------------
     # Deployment
@@ -259,7 +334,14 @@ class Invoker:
         self.loop.schedule_at(available_time, release, label=f"release:{container.container_id}")
 
     def _drain_queues(self) -> None:
-        """Dispatch queued invocations while cores and containers are free."""
+        """Use freed cores: dispatch queued work, then start pending boots.
+
+        Dispatching to warm containers takes priority over starting boots —
+        a warm container serves a request in milliseconds while a boot
+        occupies its core for the whole initialisation.  If cores remain
+        free after both, the spare-capacity hook fires so a cluster
+        scheduler can steal work from saturated peers.
+        """
         progressed = True
         while progressed and self._cores_in_use < self.cores:
             progressed = False
@@ -268,45 +350,152 @@ class Invoker:
                     invocation, callback, arrival = pool.queue.popleft()
                     self._dispatch(pool, invocation, callback, arrival)
                     progressed = True
+        self._start_boots()
+        if self._cores_in_use < self.cores and self.spare_capacity_callback is not None:
+            self.spare_capacity_callback(self)
+
+    # ------------------------------------------------------------------
+    # Work stealing (driven by the cluster scheduler)
+    # ------------------------------------------------------------------
+
+    def release_queued(
+        self, action: str, *, newest: bool = False
+    ) -> Tuple[Invocation, CompletionCallback, float]:
+        """Give up one queued invocation of ``action`` to a stealing peer.
+
+        By default the *oldest* waiting invocation (the queue head) is
+        released, preserving the per-action FIFO discipline: the stolen
+        invocation is the one that would have been dispatched next anyway.
+        ``newest=True`` releases the queue tail instead — used when the
+        thief must boot a container first, so the request that would have
+        waited longest seeds the new warm container while the older ones
+        keep their positions here.
+
+        Returns the ``(invocation, callback, arrival)`` entry; the arrival
+        timestamp travels with the invocation so its queue time stays
+        honest across the move.
+        """
+        pool = self._require_pool(action)
+        if not pool.queue:
+            raise PlatformError(
+                f"{self.invoker_id}: no queued invocation of {action!r} to steal"
+            )
+        entry = pool.queue.pop() if newest else pool.queue.popleft()
+        self.stolen_away += 1
+        self._cancel_surplus_boot(pool)
+        return entry
+
+    def adopt(
+        self,
+        invocation: Invocation,
+        callback: CompletionCallback,
+        arrival: float,
+    ) -> None:
+        """Take over an invocation stolen from a peer.
+
+        Dispatches immediately when a warm container and a core are free;
+        otherwise queues it here, booting a container on demand with the
+        same demand-matching rule as :meth:`submit`.  The original arrival
+        time is preserved.  Unlike :meth:`submit`, an adopted invocation is
+        never shed: the cluster already admitted it through the victim's
+        bounded queue, and rejecting it here would double-charge
+        backpressure — the scheduler keeps bounded thief queues from
+        overfilling by checking :meth:`queue_capacity` before stealing.
+        """
+        pool = self._require_pool(invocation.action)
+        self.steals += 1
+        if pool.idle and self._cores_in_use < self.cores:
+            self._dispatch(pool, invocation, callback, arrival)
+            return
+        if (
+            not pool.idle
+            and pool.cold_starting <= len(pool.queue)
+            and self._can_cold_start(pool)
+        ):
+            self._cold_start(pool)
+        pool.queue.append((invocation, callback, arrival))
 
     # ------------------------------------------------------------------
     # Dynamic pools: cold start on demand, keep-alive eviction
     # ------------------------------------------------------------------
 
-    def _can_cold_start(self, pool: _ActionPool) -> bool:
+    def _growth_ceiling(self, pool: _ActionPool) -> int:
         # A container occupies its core through execution *and* post-request
         # restoration, so containers beyond the core count can never run
         # concurrently — growth is useful only up to min(ceiling, cores).
-        ceiling = min(pool.max_containers, self.cores)
-        return len(pool.containers) + pool.cold_starting < ceiling
+        return min(pool.max_containers, self.cores)
+
+    def _can_cold_start(self, pool: _ActionPool) -> bool:
+        return len(pool.containers) + pool.cold_starting < self._growth_ceiling(pool)
+
+    def growth_headroom(self, action: str) -> int:
+        """How many more containers this invoker may boot for ``action``."""
+        pool = self._require_pool(action)
+        return max(
+            0, self._growth_ceiling(pool) - len(pool.containers) - pool.cold_starting
+        )
+
+    def queue_capacity(self, action: str) -> bool:
+        """True if ``action``'s queue can take one more entry without
+        breaching the backpressure bound (always true when unbounded)."""
+        if self.max_queue_per_action is None:
+            return True
+        return self.queued_invocations(action) < self.max_queue_per_action
 
     def _cold_start(self, pool: _ActionPool) -> None:
-        """Start building one more container; it joins the pool when ready.
+        """Request one more container; the boot runs on a core when one frees.
 
-        Approximation: the boot runs off-core — it delays the requests
-        waiting for the container by ``init.total_seconds`` of virtual time
-        but does not occupy an invoker core, so concurrent boots (e.g. many
-        actions scattered onto a cold invoker by a load-blind policy) are
-        not serialised against each other or against executing containers.
-        This under-charges heavy cold-start storms; see the ROADMAP item on
-        charging boot CPU time.
+        A boot is CPU work: building the environment, booting the runtime,
+        warming the function and taking the snapshot all execute on an
+        invoker core for ``init.total_seconds``, serialised against running
+        containers and against other boots.  Requests therefore cannot hide
+        cold starts — a storm of boots visibly eats the invoker's capacity.
         """
         container = self._build_container(pool.spec, dynamic=True)
-        init = container.initialize()
         pool.cold_starting += 1
         self.cold_starts += 1
+        self._boot_backlog.append((pool, container))
+        self._start_boots()
 
-        def ready() -> None:
-            pool.cold_starting -= 1
-            container.idle_since = self.loop.now
-            pool.containers.append(container)
-            pool.idle.append(container)
-            self._ensure_eviction_timer()
-            self._drain_queues()
+    def _start_boots(self) -> None:
+        """Move backlogged boots onto free cores (FIFO, one core each)."""
+        while self._boot_backlog and self._cores_in_use < self.cores:
+            pool, container = self._boot_backlog.popleft()
+            self._cores_in_use += 1
+            self._booting += 1
+            init = container.initialize()
+            self.boot_core_seconds += init.total_seconds
 
-        self.loop.schedule(
-            init.total_seconds, ready, label=f"coldstart:{container.container_id}"
-        )
+            def ready(pool: _ActionPool = pool, container: Container = container) -> None:
+                self._cores_in_use -= 1
+                self._booting -= 1
+                pool.cold_starting -= 1
+                container.idle_since = self.loop.now
+                pool.containers.append(container)
+                pool.idle.append(container)
+                self._ensure_eviction_timer()
+                self._drain_queues()
+
+            self.loop.schedule(
+                init.total_seconds, ready, label=f"coldstart:{container.container_id}"
+            )
+
+    def _cancel_surplus_boot(self, pool: _ActionPool) -> None:
+        """Drop one backlogged boot whose demand disappeared (if any).
+
+        Only boots still waiting for a core can be cancelled; a boot
+        already executing on a core runs to completion (its core time is
+        spent either way, and the container will be warm for the next
+        request).
+        """
+        if pool.cold_starting <= len(pool.queue):
+            return
+        for index, (backlog_pool, _container) in enumerate(self._boot_backlog):
+            if backlog_pool is pool:
+                del self._boot_backlog[index]
+                pool.cold_starting -= 1
+                self.boots_cancelled += 1
+                return
 
     def _ensure_eviction_timer(self) -> None:
         if self._eviction_timer is None or not self._eviction_timer.active:
@@ -351,13 +540,28 @@ class Invoker:
 
     @property
     def cores_in_use(self) -> int:
-        """Cores currently occupied by executing or restoring containers."""
+        """Cores occupied by executing, restoring, or *booting* containers."""
         return self._cores_in_use
 
     @property
+    def booting(self) -> int:
+        """Boots currently occupying a core."""
+        return self._booting
+
+    @property
+    def pending_boots(self) -> int:
+        """Boots requested but still waiting for a free core."""
+        return len(self._boot_backlog)
+
+    @property
     def load(self) -> int:
-        """Busy cores plus waiting invocations (the least-loaded metric)."""
-        return self._cores_in_use + self.queued_invocations()
+        """Busy cores + backlogged boots + waiting invocations.
+
+        Counts every cold start in flight: boots on a core are inside
+        ``cores_in_use`` and backlogged boots are added explicitly, so
+        load-based policies are never blind to boots already underway.
+        """
+        return self._cores_in_use + len(self._boot_backlog) + self.queued_invocations()
 
     @property
     def warm_hit_rate(self) -> float:
@@ -376,6 +580,41 @@ class Invoker:
         """The waiting invocations of one action in FIFO order."""
         return [entry[0] for entry in self._require_pool(action).queue]
 
+    def idle_warm_actions(self) -> List[str]:
+        """Actions with at least one idle warm container, in pool order."""
+        return [name for name, pool in self._pools.items() if pool.idle]
+
+    def snapshot(self) -> InvokerSnapshot:
+        """Export the structured warmth/load view policies consume."""
+        idle_warm: Dict[str, int] = {}
+        warm_total: Dict[str, int] = {}
+        boots: Dict[str, int] = {}
+        headroom: Dict[str, int] = {}
+        for name, pool in self._pools.items():
+            if pool.idle:
+                idle_warm[name] = len(pool.idle)
+            if pool.containers:
+                warm_total[name] = len(pool.containers)
+            if pool.cold_starting:
+                boots[name] = pool.cold_starting
+            room = (
+                self._growth_ceiling(pool) - len(pool.containers) - pool.cold_starting
+            )
+            if room > 0:
+                headroom[name] = room
+        return InvokerSnapshot(
+            invoker_id=self.invoker_id,
+            cores=self.cores,
+            cores_in_use=self._cores_in_use,
+            booting=self._booting,
+            pending_boots=len(self._boot_backlog),
+            queued=self.queued_invocations(),
+            idle_warm=idle_warm,
+            warm_total=warm_total,
+            boots_in_flight=boots,
+            growth_headroom=headroom,
+        )
+
     def stats(self) -> Dict[str, object]:
         """A snapshot of the invoker's counters (for tables and debugging)."""
         return {
@@ -386,7 +625,10 @@ class Invoker:
             "rejected": self.invocations_rejected,
             "warm_hits": self.warm_hits,
             "cold_starts": self.cold_starts,
+            "boot_core_seconds": round(self.boot_core_seconds, 6),
             "evictions": self.evictions,
+            "steals": self.steals,
+            "stolen_away": self.stolen_away,
             "containers": sum(len(p.containers) for p in self._pools.values()),
         }
 

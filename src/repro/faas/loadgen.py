@@ -12,6 +12,11 @@
   stream per deployed action, so a scheduler has many actions to spread
   across invokers.  Rejected (shed) invocations are re-issued to keep the
   offered load constant, and are excluded from measured throughput.
+* :class:`OpenLoopClient` — open-loop (Poisson or trace-driven) arrivals:
+  requests are issued at externally determined instants, *independent of
+  completions*, so a platform that falls behind accumulates backlog instead
+  of silently slowing the client down.  This is the regime that produces
+  honest latency-under-load curves and exposes cold-start storms.
 
 All clients drive any deployment that exposes the platform surface
 (``invoke_async`` / ``now`` / ``run`` / ``loop``) — both the single-invoker
@@ -21,10 +26,13 @@ All clients drive any deployment that exposes the platform surface
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import PlatformError
 from repro.faas.cluster import FaaSCluster
+from repro.faas.metrics import LatencyStats
 from repro.faas.request import Invocation, InvocationStatus
 
 
@@ -235,3 +243,193 @@ class SaturatingClient(MultiActionSaturatingClient):
         )
         self.action = action
         self.in_flight = in_flight
+
+
+@dataclass(frozen=True)
+class OpenLoopResult:
+    """What one open-loop run measured.
+
+    ``achieved_rps`` counts completions inside the post-warmup measurement
+    window; under overload it plateaus at the platform's capacity while
+    ``offered_rps`` keeps growing — the gap between the two curves *is* the
+    latency-under-load story.
+    """
+
+    #: Mean arrival rate the client drove (requests/second).
+    offered_rps: float
+    #: Virtual-time length of the whole run and of the measurement window.
+    duration_seconds: float
+    window_seconds: float
+    #: Arrivals issued over the run.
+    issued: int
+    #: Completions / rejections over the run (any time, not just in-window).
+    completed: int
+    rejected: int
+    #: Completions inside the measurement window, per second of window.
+    achieved_rps: float
+    #: End-to-end latency over in-window completions (``None`` if none).
+    e2e: Optional[LatencyStats]
+    #: Mean time in-window completions spent waiting for a container.
+    queue_seconds_mean: float
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Achieved / offered throughput (1.0 = the platform kept up)."""
+        if self.offered_rps <= 0:
+            return 0.0
+        return self.achieved_rps / self.offered_rps
+
+
+class OpenLoopClient:
+    """Issues arrivals at externally determined instants (open loop).
+
+    Arrivals come either from a Poisson process of mean rate ``rate_rps``
+    (exponential inter-arrival gaps drawn from ``rng``) or from an explicit
+    ``trace`` of arrival offsets, and are issued *regardless of what the
+    platform does with them* — completions do not gate the next arrival,
+    and shed (rejected) invocations are lost, not retried.  With several
+    actions, each arrival is assigned to an action uniformly at random
+    (thinning: the per-action processes are then Poisson too).
+
+    The run lasts ``duration_seconds`` of virtual time; completions are
+    measured inside the post-``warmup_seconds`` window.  After the last
+    arrival the simulation drains so in-flight requests finish, but
+    completions past the deadline do not count toward ``achieved_rps``.
+    """
+
+    def __init__(
+        self,
+        platform: FaaSCluster,
+        actions: Union[str, Sequence[str]],
+        *,
+        rate_rps: Optional[float] = None,
+        trace: Optional[Sequence[float]] = None,
+        duration_seconds: Optional[float] = None,
+        warmup_seconds: float = 0.0,
+        payload: Optional[bytes] = None,
+        caller_for: Optional[Callable[[int], str]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.actions = [actions] if isinstance(actions, str) else list(actions)
+        if not self.actions:
+            raise PlatformError("open-loop client needs at least one action")
+        if (rate_rps is None) == (trace is None):
+            raise PlatformError(
+                "open-loop client needs exactly one of rate_rps or trace"
+            )
+        if rate_rps is not None:
+            if rate_rps <= 0:
+                raise PlatformError("rate_rps must be positive")
+            if duration_seconds is None:
+                raise PlatformError("a Poisson run needs duration_seconds")
+        if trace is not None:
+            if not trace:
+                raise PlatformError("an arrival trace must not be empty")
+            if any(b < a for a, b in zip(trace, trace[1:])) or trace[0] < 0:
+                raise PlatformError("trace offsets must be non-negative and sorted")
+            if duration_seconds is None:
+                duration_seconds = float(trace[-1])
+        if duration_seconds is None or duration_seconds <= 0:
+            raise PlatformError("duration must be positive")
+        if not 0 <= warmup_seconds < duration_seconds:
+            raise PlatformError("warmup must fall inside the run")
+        self.platform = platform
+        self.rate_rps = rate_rps
+        self.trace = list(trace) if trace is not None else None
+        self.duration_seconds = float(duration_seconds)
+        self.warmup_seconds = warmup_seconds
+        self.payload = payload
+        self.caller_for = caller_for if caller_for is not None else _default_callers()
+        if rng is not None:
+            self._streams = None
+            self.rng = rng
+        else:
+            # Default: the platform's named RNG stream, so open-loop
+            # arrivals never perturb any other subsystem's sequence.
+            self._streams = platform.rng_streams
+            self.rng = self._streams.stream("open-loop")
+        self.completed: List[Invocation] = []
+        self.rejected: List[Invocation] = []
+        self._issued = 0
+
+    def _arrival_gap(self) -> float:
+        """One exponential inter-arrival gap of the Poisson process."""
+        if self._streams is not None:
+            return self._streams.expovariate("open-loop", self.rate_rps)
+        return self.rng.expovariate(self.rate_rps)
+
+    def run(self) -> OpenLoopResult:
+        """Drive the arrivals, drain the platform, return the measurements."""
+        start = self.platform.now
+        deadline = start + self.duration_seconds
+        window_start = start + self.warmup_seconds
+
+        def on_complete(invocation: Invocation) -> None:
+            if invocation.status is InvocationStatus.REJECTED:
+                self.rejected.append(invocation)
+            else:
+                self.completed.append(invocation)
+
+        def issue_one() -> None:
+            index = self._issued
+            self._issued += 1
+            if len(self.actions) == 1:
+                action = self.actions[0]
+            else:
+                action = self.actions[self.rng.randrange(len(self.actions))]
+            self.platform.invoke_async(
+                action,
+                self.payload,
+                caller=self.caller_for(index),
+                on_complete=on_complete,
+            )
+
+        if self.trace is not None:
+            for offset in self.trace:
+                if offset > self.duration_seconds:
+                    break
+                self.platform.loop.schedule_at(
+                    start + offset, issue_one, label="open-loop arrival"
+                )
+        else:
+
+            def arrive() -> None:
+                issue_one()
+                schedule_next()
+
+            def schedule_next() -> None:
+                gap = self._arrival_gap()
+                if self.platform.now + gap <= deadline:
+                    self.platform.loop.schedule(gap, arrive, label="open-loop arrival")
+
+            schedule_next()
+
+        self.platform.run()
+
+        in_window = [
+            inv
+            for inv in self.completed
+            if inv.status is InvocationStatus.COMPLETED
+            and window_start <= inv.completed_at <= deadline
+        ]
+        window = self.duration_seconds - self.warmup_seconds
+        latencies = [inv.e2e_seconds for inv in in_window]
+        queue_times = [inv.queue_seconds for inv in in_window]
+        offered = (
+            self.rate_rps
+            if self.rate_rps is not None
+            else self._issued / self.duration_seconds
+        )
+        return OpenLoopResult(
+            offered_rps=offered,
+            duration_seconds=self.duration_seconds,
+            window_seconds=window,
+            issued=self._issued,
+            completed=len(self.completed),
+            rejected=len(self.rejected),
+            achieved_rps=len(in_window) / window,
+            e2e=LatencyStats.from_samples(latencies) if latencies else None,
+            queue_seconds_mean=(
+                sum(queue_times) / len(queue_times) if queue_times else 0.0
+            ),
+        )

@@ -6,32 +6,63 @@ the classic FaaS scheduling problem: which invoker should serve an
 invocation, given that warm containers — the thing Groundhog's economics
 depend on — live on specific invokers?
 
-Three policies are provided:
+Policies decide from each invoker's structured
+:class:`~repro.faas.invoker.InvokerSnapshot` (idle-warm containers per
+action, queue depth, boots in flight, cores in use) rather than a single
+scalar load.  Four are provided:
 
 * ``round-robin`` — spread invocations evenly, ignoring warmth and load.
 * ``least-loaded`` — send each invocation to the invoker with the fewest
-  busy cores plus waiting invocations.
+  busy cores plus backlogged boots plus waiting invocations.
 * ``hash-affinity`` — the OpenWhisk approach: every action hashes to a
   *home* invoker and its invocations go there, maximising warm-container
   hits at the price of per-action load skew.
+* ``warm-aware`` — least-loaded with the cold start priced in: an invoker
+  that would have to boot a container for the action carries a load
+  penalty, so traffic prefers warm invokers until their backlog outweighs
+  a boot.
 
 Deployment follows the same geometry regardless of policy: an action's
 pre-warmed containers live on its home invoker, and every other invoker
 merely *registers* the action so it can cold-start containers on demand if
 the routing policy sends traffic its way.  This keeps the topology identical
 across policies, so measured differences are purely due to routing.
+
+**Work stealing** (``work_stealing=True``) complements any routing policy:
+whenever an invoker reports spare capacity, the scheduler moves queued
+invocations from saturated peers onto it.  Two kinds of steal exist:
+
+* *Instant* steals — the thief has an idle warm container and a free core,
+  so it takes the *oldest* queued invocation (the queue head) and
+  dispatches it immediately.  This preserves the per-action FIFO
+  discipline: the stolen invocation is exactly the one that would have
+  been dispatched next.
+* *Boot* steals — the victim's backlog for an action is deep
+  (``boot_steal_min_queue``), the victim has no growth headroom left, and
+  the thief has some, so it takes the *newest* queued invocation (the
+  queue tail) and boots a container for it.  The request that would have
+  waited longest seeds a new warm container on the idle invoker; the
+  older requests keep their FIFO positions on the victim and typically
+  finish during the boot.  This deliberately trades the stolen request's
+  queue position for cluster capacity: arrivals that keep landing on the
+  victim afterwards may overtake the one parked request.  Strict
+  per-action FIFO dispatch order is therefore a guarantee of the
+  instant-steal regime (set ``boot_steal_min_queue=None`` for it).
+
+All steals happen inside event callbacks in a fixed scan order, so runs
+remain deterministic.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SCHEDULER_POLICIES
 from repro.errors import PlatformError
 from repro.faas.action import ActionSpec
 from repro.faas.container import Container
-from repro.faas.invoker import CompletionCallback, Invoker
+from repro.faas.invoker import CompletionCallback, Invoker, InvokerSnapshot
 from repro.faas.request import Invocation
 
 
@@ -47,11 +78,23 @@ def home_index(action: str, num_invokers: int) -> int:
 
 
 class SchedulingPolicy:
-    """Base class: picks the invoker index that should serve an invocation."""
+    """Base class: picks the invoker index that should serve an invocation.
+
+    Concrete policies implement :meth:`choose` over the invokers'
+    structured snapshots; :meth:`select` adapts the live invokers to that
+    surface so callers can keep handing in :class:`Invoker` objects.
+    """
 
     name = "abstract"
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        if len(invokers) == 1:
+            return 0  # no decision to make — skip the snapshot cost
+        return self.choose([invoker.snapshot() for invoker in invokers], invocation)
+
+    def choose(
+        self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
+    ) -> int:
         raise NotImplementedError
 
 
@@ -64,7 +107,16 @@ class RoundRobinPolicy(SchedulingPolicy):
         self._next = 0
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
-        index = self._next % len(invokers)
+        # Needs only the invoker count — skip building snapshots.
+        return self._cycle(len(invokers))
+
+    def choose(
+        self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
+    ) -> int:
+        return self._cycle(len(snapshots))
+
+    def _cycle(self, count: int) -> int:
+        index = self._next % count
         self._next += 1
         return index
 
@@ -75,7 +127,13 @@ class LeastLoadedPolicy(SchedulingPolicy):
     name = "least-loaded"
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        # Needs only the scalar load — skip building full snapshots.
         return min(range(len(invokers)), key=lambda i: (invokers[i].load, i))
+
+    def choose(
+        self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
+    ) -> int:
+        return min(range(len(snapshots)), key=lambda i: (snapshots[i].load, i))
 
 
 class HashAffinityPolicy(SchedulingPolicy):
@@ -84,13 +142,54 @@ class HashAffinityPolicy(SchedulingPolicy):
     name = "hash-affinity"
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        # Needs only the action name and invoker count — skip snapshots.
         return home_index(invocation.action, len(invokers))
+
+    def choose(
+        self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
+    ) -> int:
+        return home_index(invocation.action, len(snapshots))
+
+
+class WarmAwarePolicy(SchedulingPolicy):
+    """Least-loaded with the cold start priced in.
+
+    An invoker that already has containers (or boots in flight) for the
+    action competes on its load alone; an invoker that would have to boot
+    a fresh container carries ``cold_start_penalty`` extra load units —
+    roughly the requests' worth of core time a boot costs (a container
+    initialisation runs hundreds of milliseconds against typical
+    millisecond-scale functions, hence the large default).  Traffic
+    therefore sticks to warm invokers while they are competitive and
+    spills to a cold invoker only once the warm backlog outweighs a boot,
+    which is exactly when paying for the boot is worth it.
+    """
+
+    name = "warm-aware"
+
+    def __init__(self, cold_start_penalty: float = 32.0) -> None:
+        if cold_start_penalty < 0:
+            raise PlatformError("cold_start_penalty must be >= 0")
+        self.cold_start_penalty = cold_start_penalty
+
+    def choose(
+        self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
+    ) -> int:
+        action = invocation.action
+
+        def score(index: int) -> Tuple[float, int, int]:
+            snap = snapshots[index]
+            penalty = 0.0 if snap.warmth(action) > 0 else self.cold_start_penalty
+            return (snap.load + penalty, snap.load, index)
+
+        return min(range(len(snapshots)), key=score)
 
 
 _POLICY_CLASSES = {
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     HashAffinityPolicy.name: HashAffinityPolicy,
+    WarmAwarePolicy.name: WarmAwarePolicy,
 }
 
 # Unconditional (not an assert): must hold even under `python -O`, so a
@@ -118,14 +217,39 @@ class Scheduler:
     Exposes the same ``submit(invocation, callback)`` surface as a single
     :class:`~repro.faas.invoker.Invoker`, so the controller can sit in front
     of either without knowing which it has.
+
+    With ``work_stealing=True`` the scheduler additionally rebalances after
+    every routing decision and whenever an invoker signals spare capacity,
+    moving queued invocations from saturated invokers onto idle ones (see
+    the module docstring for the two steal kinds and their FIFO
+    guarantees).  ``boot_steal_min_queue`` is the backlog depth at which an
+    idle invoker is allowed to boot a container for a peer's action;
+    ``None`` restricts stealing to instant (warm-container) steals only.
     """
 
-    def __init__(self, invokers: Sequence[Invoker], policy: SchedulingPolicy) -> None:
+    def __init__(
+        self,
+        invokers: Sequence[Invoker],
+        policy: SchedulingPolicy,
+        *,
+        work_stealing: bool = False,
+        boot_steal_min_queue: Optional[int] = 8,
+    ) -> None:
         if not invokers:
             raise PlatformError("a scheduler needs at least one invoker")
+        if boot_steal_min_queue is not None and boot_steal_min_queue < 1:
+            raise PlatformError("boot_steal_min_queue must be >= 1 or None")
         self.invokers = list(invokers)
         self.policy = policy
+        self.work_stealing = work_stealing
+        self.boot_steal_min_queue = boot_steal_min_queue
         self.routed_per_invoker: List[int] = [0] * len(self.invokers)
+        #: Invocations moved between invokers by work stealing.
+        self.steals = 0
+        self._rebalancing = False
+        if self.work_stealing and len(self.invokers) > 1:
+            for invoker in self.invokers:
+                invoker.spare_capacity_callback = self._on_spare_capacity
 
     # ------------------------------------------------------------------
     # Deployment
@@ -171,10 +295,139 @@ class Scheduler:
             )
         self.routed_per_invoker[index] += 1
         self.invokers[index].submit(invocation, callback)
+        self._rebalance()
+
+    # ------------------------------------------------------------------
+    # Work stealing
+    # ------------------------------------------------------------------
+
+    def _on_spare_capacity(self, invoker: Invoker) -> None:
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        """Steal queued work onto invokers with spare capacity.
+
+        Runs until no further steal is possible.  The scan order (thieves
+        by index, the thief's actions in pool order, victims by deepest
+        queue with ties to the lowest index) is fixed, so two identical
+        runs steal identically — determinism is preserved.
+        """
+        if not self.work_stealing or len(self.invokers) < 2 or self._rebalancing:
+            return
+        self._rebalancing = True
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                for thief in self.invokers:
+                    steal = self._find_steal(thief)
+                    if steal is None:
+                        continue
+                    victim, action, newest = steal
+                    entry = victim.release_queued(action, newest=newest)
+                    thief.adopt(*entry)
+                    self.steals += 1
+                    progressed = True
+        finally:
+            self._rebalancing = False
+
+    def _find_steal(
+        self, thief: Invoker
+    ) -> Optional[Tuple[Invoker, str, bool]]:
+        """The best (victim, action, steal-from-tail) for ``thief``, if any."""
+        if thief.cores_in_use >= thief.cores:
+            return None
+        # Instant steals first: an idle warm container plus a free core
+        # serves the victim's queue head right now, cold-start free.
+        for action in thief.idle_warm_actions():
+            victim = self._steal_victim(action, thief, min_queue=1)
+            if victim is not None:
+                return victim, action, False
+        # Boot steals: only for deep backlogs on victims that cannot add
+        # capacity themselves, and only tail entries — the stolen request
+        # pays the boot it would have effectively waited for anyway, and
+        # the new container makes the thief warm.
+        if self.boot_steal_min_queue is None:
+            return None
+        for action in self._growable_actions(thief):
+            if not thief.queue_capacity(action):
+                # A boot steal parks the stolen invocation in the thief's
+                # queue; never overfill a bounded queue to do so (adopted
+                # work is exempt from shedding, so the bound is enforced
+                # here, at the steal decision).
+                continue
+            victim = self._steal_victim(
+                action, thief,
+                min_queue=self.boot_steal_min_queue,
+                require_exhausted=True,
+            )
+            if victim is not None:
+                return victim, action, True
+        return None
+
+    def _growable_actions(self, thief: Invoker) -> List[str]:
+        """Actions the thief could boot a container for, in pool order.
+
+        Actions with an idle warm container are excluded — those were
+        already candidates for an instant steal, and booting another
+        container while one sits idle would be pure waste.
+        """
+        snapshot = thief.snapshot()
+        return [
+            action
+            for action, room in snapshot.growth_headroom.items()
+            if room > 0 and action not in snapshot.idle_warm
+        ]
+
+    def _steal_victim(
+        self,
+        action: str,
+        thief: Invoker,
+        *,
+        min_queue: int,
+        require_exhausted: bool = False,
+    ) -> Optional[Invoker]:
+        """The peer with the deepest queue for ``action`` (ties: lowest index).
+
+        ``require_exhausted`` additionally demands the victim has no growth
+        headroom left for the action: as long as it can still boot its own
+        container, a transient burst is its problem to absorb — spending a
+        peer's core on a boot is only justified once the victim is capped.
+        """
+        best: Optional[Invoker] = None
+        best_depth = 0
+        for invoker in self.invokers:
+            if invoker is thief:
+                continue
+            depth = invoker.queued_invocations(action)
+            if depth < min_queue or depth <= best_depth:
+                continue
+            if require_exhausted and invoker.growth_headroom(action) > 0:
+                continue
+            best = invoker
+            best_depth = depth
+        return best
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def snapshots(self) -> List[InvokerSnapshot]:
+        """The structured state of every invoker, in index order."""
+        return [invoker.snapshot() for invoker in self.invokers]
+
+    def routing_skew(self) -> float:
+        """Max/mean invocations routed per invoker (1.0 = perfectly even).
+
+        The hash-affinity collapse made visible: a policy that funnels hot
+        actions onto few invokers shows a skew well above 1.  Returns 0.0
+        before any invocation was routed.
+        """
+        total = sum(self.routed_per_invoker)
+        if total == 0:
+            return 0.0
+        mean = total / len(self.routed_per_invoker)
+        return max(self.routed_per_invoker) / mean
 
     def stats(self) -> List[Dict[str, object]]:
         """Per-invoker counter snapshots plus routing counts."""

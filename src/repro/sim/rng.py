@@ -48,3 +48,14 @@ class RngStreams:
         if stddev <= 0:
             return max(0.0, mean)
         return max(0.0, self.stream(name).gauss(mean, stddev))
+
+    def expovariate(self, name: str, rate: float) -> float:
+        """Draw an exponential inter-arrival gap (seconds) at ``rate`` per second.
+
+        The building block of Poisson arrival processes (open-loop load
+        generation): successive draws from one stream are the gaps between
+        arrivals of a memoryless process with mean rate ``rate``.
+        """
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive (got {rate})")
+        return self.stream(name).expovariate(rate)

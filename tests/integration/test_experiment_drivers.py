@@ -10,15 +10,18 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiments import (
+    colliding_action_names,
     headline_summary,
     measure_latency,
     measure_restores,
     measure_throughput,
     run_breakdown,
+    run_cluster_scaling,
     run_coldstart_comparison,
     run_fig3_dirty_sweep,
     run_fig3_size_sweep,
     run_latency_suite,
+    run_latency_under_load,
     run_lifecycle,
     run_restoration_comparison,
     run_scaling,
@@ -131,6 +134,48 @@ class TestSuiteDrivers:
             series = sweep.get(config)
             assert series.is_nondecreasing
             assert series.y_at(4.0) > 2.5 * series.y_at(1.0)
+
+    def test_cluster_scaling_reports_throughput_and_skew(self):
+        spec = find_benchmark("md2html", "p")
+        sweeps = run_cluster_scaling(
+            [spec], invoker_counts=(1, 2),
+            policies=("hash-affinity", "warm-aware"), rounds=2,
+        )
+        result = sweeps[spec.qualified_name]
+        for policy in ("hash-affinity", "warm-aware"):
+            throughput = result["throughput"].get(policy)
+            assert throughput.y_at(2.0) >= throughput.y_at(1.0)
+            skew = result["skew"].get(policy)
+            assert skew.y_at(1.0) == 1.0  # one invoker is trivially even
+            assert skew.y_at(2.0) >= 1.0
+
+    def test_latency_under_load_sweeps_strategies(self):
+        spec = find_benchmark("md2html", "p")
+        sweeps = run_latency_under_load(
+            spec,
+            strategies=(("least-loaded", False), ("warm-aware", True)),
+            load_factors=(0.4, 0.8),
+            duration_seconds=2.0, warmup_seconds=0.25,
+        )
+        throughput = sweeps["throughput"]
+        latency = sweeps["p95_ms"]
+        for label in ("least-loaded", "warm-aware+steal"):
+            series = throughput.get(label)
+            assert len(series.y) == 2
+            assert all(value > 0 for value in series.y)
+            assert all(value > 0 for value in latency.get(label).y)
+        # The headline shape at the higher offered load: pricing cold
+        # starts into routing sustains more of the offered arrivals.
+        assert (
+            throughput.get("warm-aware+steal").y[-1]
+            > throughput.get("least-loaded").y[-1]
+        )
+
+    def test_colliding_action_names_share_one_home(self):
+        names = colliding_action_names(5, invokers=4, home=2)
+        assert len(names) == len(set(names)) == 5
+        from repro.faas.scheduler import home_index
+        assert {home_index(name, 4) for name in names} == {2}
 
 
 class TestAblations:

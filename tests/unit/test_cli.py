@@ -37,6 +37,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert "environment_instantiation_seconds" in out
 
+    def test_cluster_scaling_reports_skew(self, capsys):
+        assert main([
+            "cluster-scaling", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "1", "--policies", "hash-affinity", "--rounds", "1",
+            "--actions", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "skew (max/mean)" in out
+        assert "steals" in out
+        assert "hash-affinity" in out
+
+    def test_latency_under_load_sweeps_strategies(self, capsys):
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Latency under open-loop load" in out
+        assert "least-loaded" in out
+        assert "warm-aware+steal" in out
+        assert "goodput" in out
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

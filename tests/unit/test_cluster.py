@@ -77,6 +77,19 @@ class TestPolicies:
         with pytest.raises(PlatformError):
             home_index("f", 0)
 
+    def test_home_index_is_stable_across_runs(self):
+        # CRC-32 of the action name, not hash(): the assignment must not
+        # move between interpreter runs (PYTHONHASHSEED) or releases, or
+        # every deployment's warm containers would land somewhere else
+        # than its traffic.  These literals pin the contract.
+        assert home_index("pyaes", 2) == 1
+        assert home_index("pyaes", 4) == 3
+        assert home_index("pyaes", 8) == 7
+        assert home_index("md2html", 4) == 0
+        assert home_index("matmul", 4) == 2
+        # Stable under repetition within a run, too.
+        assert len({home_index("pyaes", 4) for _ in range(100)}) == 1
+
 
 class TestScheduler:
     def test_deploy_prewarms_only_home(self, small_python_profile):
@@ -348,6 +361,36 @@ class TestDynamicPools:
         loop.run()
         assert invoker.pool("dead") == []
         assert invoker.evictions == 1
+
+    def test_eviction_floor_prewarmed_containers_survive_forever(
+        self, small_python_profile
+    ):
+        # The eviction floor: however long pre-warmed containers sit idle,
+        # and however many eviction periods pass, they are never reclaimed
+        # — only dynamic (on-demand) growth above the floor is.
+        loop = EventLoop()
+        invoker = Invoker(loop, cores=4, keep_alive_seconds=1.0)
+        spec = _action(small_python_profile, "floor")
+        invoker.deploy(spec, containers=2, max_containers=4)
+        done = []
+        for _ in range(8):
+            invoker.submit(Invocation(action="floor", payload=b"x"), done.append)
+        # Serve the burst, grow the pool, then idle across many keep-alive
+        # periods to give the timer every chance to over-evict.
+        loop.run()
+        assert len(done) == 8
+        assert invoker.cold_starts == 2  # grew to the 4-container ceiling
+        assert invoker.evictions == 2  # ...and reclaimed only the growth
+        survivors = invoker.pool("floor")
+        assert len(survivors) == 2
+        assert all(not c.dynamic for c in survivors)
+        # The timer cancelled itself once no dynamic containers remained,
+        # so a fully drained loop means no further eviction can ever fire.
+        assert loop.pending == 0
+        # The floor still serves traffic after the idle period.
+        invoker.submit(Invocation(action="floor", payload=b"x"), done.append)
+        loop.run(until=loop.now + 10.0)
+        assert len(done) == 9
 
 
 class TestBackpressure:

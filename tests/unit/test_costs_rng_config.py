@@ -87,6 +87,22 @@ class TestRngStreams:
     def test_gauss_positive_zero_stddev_returns_mean(self):
         assert RngStreams(3).gauss_positive("g", 0.5, 0.0) == 0.5
 
+    def test_expovariate_draws_poisson_gaps(self):
+        streams = RngStreams(9)
+        gaps = [streams.expovariate("arrivals", 100.0) for _ in range(500)]
+        assert all(gap > 0.0 for gap in gaps)
+        # The mean inter-arrival gap of a 100/s Poisson process is 10 ms.
+        assert sum(gaps) / len(gaps) == pytest.approx(0.01, rel=0.25)
+        # Deterministic per (seed, stream name).
+        again = RngStreams(9)
+        assert again.expovariate("arrivals", 100.0) == pytest.approx(
+            RngStreams(9).expovariate("arrivals", 100.0)
+        )
+
+    def test_expovariate_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RngStreams(9).expovariate("arrivals", 0.0)
+
 
 class TestSimulationConfig:
     def test_defaults_are_valid(self):

@@ -1,0 +1,123 @@
+"""Tests for the open-loop (Poisson / trace-driven) load generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import PlatformError
+from repro.faas.action import ActionSpec
+from repro.faas.cluster import FaaSCluster
+from repro.faas.loadgen import OpenLoopClient
+from repro.faas.platform import FaaSPlatform
+from repro.runtime.profiles import FunctionProfile
+
+
+def _action(profile: FunctionProfile, name: str, mechanism: str = "base") -> ActionSpec:
+    return ActionSpec.for_profile(profile, mechanism, name=name)
+
+
+class TestOpenLoopClient:
+    def test_poisson_arrivals_issue_independent_of_completions(
+        self, small_python_profile
+    ):
+        platform = FaaSPlatform(SimulationConfig(cores=1, containers_per_action=1))
+        platform.deploy(_action(small_python_profile, "ol"))
+        client = OpenLoopClient(
+            platform, "ol", rate_rps=50.0, duration_seconds=2.0
+        )
+        result = client.run()
+        # Mean of Poisson(50/s over 2s) = 100; a deterministic seeded draw
+        # lands in a broad band around it.
+        assert 50 <= result.issued <= 160
+        assert result.completed == result.issued
+        assert result.rejected == 0
+        assert result.achieved_rps > 0
+        assert result.offered_rps == 50.0
+        assert result.e2e is not None and result.e2e.count > 0
+        # The platform drained: in-flight work finished after the deadline.
+        assert platform.metrics.num_completed == result.issued
+
+    def test_runs_are_deterministic(self, small_python_profile):
+        def run_once() -> float:
+            platform = FaaSPlatform(SimulationConfig(seed=7))
+            platform.deploy(_action(small_python_profile, "det"))
+            return OpenLoopClient(
+                platform, "det", rate_rps=40.0, duration_seconds=1.5
+            ).run().achieved_rps
+
+        assert run_once() == run_once()
+
+    def test_overload_shows_up_as_goodput_below_one(self, small_python_profile):
+        # One core at ~25 req/s capacity, offered 200/s: the open-loop
+        # client keeps issuing, the backlog grows, goodput collapses.
+        platform = FaaSPlatform(SimulationConfig(cores=1, containers_per_action=1))
+        platform.deploy(_action(small_python_profile, "over", mechanism="gh"))
+        result = OpenLoopClient(
+            platform, "over", rate_rps=200.0, duration_seconds=2.0,
+            warmup_seconds=0.25,
+        ).run()
+        assert result.goodput_fraction < 0.5
+        assert result.e2e.p95 > result.e2e.median  # queueing inflates the tail
+
+    def test_rejections_are_lost_not_retried(self, small_python_profile):
+        platform = FaaSPlatform(
+            SimulationConfig(cores=1, containers_per_action=1, max_queue_per_action=1)
+        )
+        platform.deploy(_action(small_python_profile, "shed"))
+        result = OpenLoopClient(
+            platform, "shed", rate_rps=300.0, duration_seconds=1.0
+        ).run()
+        assert result.rejected > 0
+        assert result.completed + result.rejected == result.issued
+
+    def test_trace_driven_arrivals(self, small_python_profile):
+        platform = FaaSPlatform(SimulationConfig())
+        platform.deploy(_action(small_python_profile, "traced"))
+        trace = [0.0, 0.1, 0.1, 0.35, 0.9]
+        client = OpenLoopClient(platform, "traced", trace=trace)
+        result = client.run()
+        assert result.issued == len(trace)
+        assert result.duration_seconds == pytest.approx(0.9)
+        assert result.offered_rps == pytest.approx(len(trace) / 0.9)
+        # Submissions happened at the trace instants.
+        times = sorted(inv.submitted_at for inv in client.completed)
+        assert times == pytest.approx(trace)
+
+    def test_multi_action_assignment_is_deterministic(self, small_python_profile):
+        def actions_hit() -> list:
+            cluster = FaaSCluster(SimulationConfig(invokers=2, seed=11))
+            names = [f"ma-{i}" for i in range(3)]
+            for name in names:
+                cluster.deploy(_action(small_python_profile, name))
+            client = OpenLoopClient(
+                cluster, names, rate_rps=60.0, duration_seconds=1.0
+            )
+            client.run()
+            return sorted(inv.action for inv in client.completed)
+
+        first = actions_hit()
+        assert len(set(first)) > 1  # arrivals spread over the actions
+        assert first == actions_hit()
+
+    def test_validation_errors(self, small_python_profile):
+        platform = FaaSPlatform(SimulationConfig())
+        platform.deploy(_action(small_python_profile, "v"))
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", rate_rps=10.0, trace=[0.1],
+                           duration_seconds=1.0)
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v")
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", rate_rps=0.0, duration_seconds=1.0)
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", rate_rps=10.0)  # no duration
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", trace=[])
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", trace=[0.5, 0.2])  # unsorted
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, "v", rate_rps=10.0, duration_seconds=1.0,
+                           warmup_seconds=1.0)  # warmup swallows the run
+        with pytest.raises(PlatformError):
+            OpenLoopClient(platform, [], rate_rps=10.0, duration_seconds=1.0)
