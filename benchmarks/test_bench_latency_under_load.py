@@ -86,17 +86,31 @@ def test_latency_under_load_balanced_homes(benchmark, bench_once, bench_scale):
     points = bench_once(benchmark, lambda: _sweep(spec, factors, duration))
     _render("Latency under open-loop load — balanced homes", points)
 
-    # warm-aware + stealing sustains strictly higher throughput than pure
-    # least-loaded at every offered load: it pays for boots only when a
-    # warm backlog outweighs one, while least-loaded's scatter burns core
-    # time on cold starts the open-loop arrivals do not wait for.
-    for warm, blind in zip(points["warm-aware+steal"], points["least-loaded"]):
+    # warm-aware + stealing dominates pure least-loaded: it pays for boots
+    # only when a warm backlog outweighs one, while least-loaded's scatter
+    # burns core time on cold starts the open-loop arrivals do not wait
+    # for.  Below saturation both policies complete (nearly) every arrival,
+    # so throughput there is boundary noise — the signal is the boot bill
+    # and the tail latency; at and beyond capacity the wasted boot time
+    # shows up as strictly lower sustained throughput.
+    for factor, warm, blind in zip(
+        factors, points["warm-aware+steal"], points["least-loaded"]
+    ):
         assert warm.offered_rps == blind.offered_rps
-        assert warm.achieved_rps > blind.achieved_rps, (
-            f"warm-aware+steal ({warm.achieved_rps:.1f} req/s) did not beat "
-            f"least-loaded ({blind.achieved_rps:.1f} req/s) at offered "
-            f"{warm.offered_rps:.1f} req/s"
-        )
+        if factor >= 1.0:
+            assert warm.achieved_rps > blind.achieved_rps, (
+                f"warm-aware+steal ({warm.achieved_rps:.1f} req/s) did not beat "
+                f"least-loaded ({blind.achieved_rps:.1f} req/s) at offered "
+                f"{warm.offered_rps:.1f} req/s"
+            )
+        else:
+            assert warm.achieved_rps > 0.9 * blind.achieved_rps
+            assert warm.p95_ms is not None and blind.p95_ms is not None
+            assert warm.p95_ms < 0.5 * blind.p95_ms, (
+                f"warm-aware+steal p95 ({warm.p95_ms:.0f} ms) is not clearly "
+                f"below least-loaded's ({blind.p95_ms:.0f} ms) at "
+                f"sub-saturation load"
+            )
         assert warm.cold_starts < blind.cold_starts
 
     # ... and matches hash-affinity, whose home placement is optimal here.

@@ -1,0 +1,140 @@
+"""Tenant fairness — can an aggressive tenant collapse a polite one?
+
+The request-isolation model is per caller, but before the admission layer
+the queueing path was caller-blind: one tenant's burst filled every
+bounded per-action FIFO and shed everyone's traffic alike.  This benchmark
+drives the three scenarios of :func:`run_tenant_fairness` — the polite
+tenant solo, both tenants under FIFO, both under WFQ + per-tenant quotas —
+at two quota operating points:
+
+* **Strict quota** (the default, ~1.2x estimated capacity): the aggressive
+  tenant is throttled hard enough that queues stay shallow, so the polite
+  tenant's goodput *and* p99 latency return to within 10% of its solo run
+  while FIFO, on the same offered load, collapses both.
+* **Work-conserving quota** (~1.8x estimated capacity): the quota admits
+  enough aggressive traffic to keep every core busy, so aggregate
+  throughput matches FIFO's saturation throughput within ~5% — and the
+  polite tenant's goodput is *still* protected by fair queueing and
+  longest-queue-drop displacement, demonstrating that fairness re-divides
+  capacity rather than wasting it.
+
+The two points are the ends of the isolation-vs-utilisation frontier the
+``tenant_quota_rps`` knob exposes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_tenant_fairness
+from repro.analysis.tables import render_table
+from repro.workloads import find_benchmark
+
+POLITE = "polite"
+AGGRESSIVE = "aggressive"
+
+
+def _render(title, scenarios):
+    rows = []
+    for label, scenario in scenarios.items():
+        for tenant, outcome in scenario.tenants.items():
+            rows.append([
+                label,
+                tenant,
+                f"{outcome.offered_rps:.1f}",
+                f"{outcome.achieved_rps:.1f}",
+                f"{outcome.goodput_fraction * 100:.0f}%",
+                f"{outcome.p50_ms:.1f}" if outcome.p50_ms is not None else "-",
+                f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+                str(outcome.rejected),
+                str(outcome.throttled),
+            ])
+    print()
+    print(render_table(
+        ["scenario", "tenant", "offered", "achieved", "goodput",
+         "p50 (ms)", "p99 (ms)", "rejected", "throttled"],
+        rows, title=title,
+    ))
+
+
+def test_tenant_fairness_strict_quota(benchmark, bench_once, bench_scale):
+    spec = find_benchmark("get-time", "p")
+    duration = bench_scale(10.0, 8.0)
+    scenarios = bench_once(
+        benchmark,
+        lambda: run_tenant_fairness(spec, duration_seconds=duration),
+    )
+    _render("Tenant fairness — strict quota (isolation end)", scenarios)
+
+    solo = scenarios["solo"].outcome(POLITE)
+    fifo = scenarios["fifo"]
+    wfq = scenarios["wfq+quota"]
+
+    # Caller-blind FIFO: the aggressive burst keeps every bounded queue
+    # full, so the polite tenant is shed alongside it — goodput collapses
+    # well below the solo run and its tail latency explodes.
+    fifo_polite = fifo.outcome(POLITE)
+    assert fifo_polite.achieved_rps < 0.75 * solo.achieved_rps, (
+        f"FIFO did not collapse the polite tenant "
+        f"({fifo_polite.achieved_rps:.1f} vs solo {solo.achieved_rps:.1f} req/s)"
+    )
+    assert fifo_polite.p99_ms > 3 * solo.p99_ms
+    assert fifo_polite.rejected > 0
+
+    # WFQ + quota: the aggressive tenant is visibly capped...
+    wfq_aggressive = wfq.outcome(AGGRESSIVE)
+    assert wfq_aggressive.throttled > 0
+    assert wfq_aggressive.achieved_rps < 0.6 * wfq_aggressive.offered_rps
+
+    # ...while the polite tenant's goodput and p99 return to within 10%
+    # of its uncontended solo run (the acceptance bar).
+    wfq_polite = wfq.outcome(POLITE)
+    assert wfq_polite.achieved_rps >= 0.9 * solo.achieved_rps, (
+        f"polite goodput under WFQ+quota ({wfq_polite.achieved_rps:.1f} req/s) "
+        f"fell more than 10% below solo ({solo.achieved_rps:.1f} req/s)"
+    )
+    assert wfq_polite.p99_ms <= 1.1 * solo.p99_ms, (
+        f"polite p99 under WFQ+quota ({wfq_polite.p99_ms:.1f} ms) "
+        f"inflated more than 10% over solo ({solo.p99_ms:.1f} ms)"
+    )
+    benchmark.extra_info["polite_p99_ratio_vs_solo"] = round(
+        wfq_polite.p99_ms / solo.p99_ms, 3
+    )
+    benchmark.extra_info["fifo_polite_collapse"] = round(
+        fifo_polite.achieved_rps / solo.achieved_rps, 3
+    )
+
+
+def test_tenant_fairness_work_conserving_quota(benchmark, bench_once, bench_scale):
+    spec = find_benchmark("get-time", "p")
+    duration = bench_scale(10.0, 8.0)
+    scenarios = bench_once(
+        benchmark,
+        lambda: run_tenant_fairness(
+            spec, duration_seconds=duration, quota_factor=1.8
+        ),
+    )
+    _render("Tenant fairness — work-conserving quota (utilisation end)", scenarios)
+
+    solo = scenarios["solo"].outcome(POLITE)
+    fifo = scenarios["fifo"]
+    wfq = scenarios["wfq+quota"]
+
+    # The quota admits enough aggressive traffic to saturate the cluster:
+    # aggregate throughput stays within ~5% of caller-blind FIFO.
+    assert wfq.aggregate_rps >= 0.95 * fifo.aggregate_rps, (
+        f"WFQ+quota aggregate ({wfq.aggregate_rps:.1f} req/s) fell more than "
+        f"~5% below FIFO ({fifo.aggregate_rps:.1f} req/s)"
+    )
+
+    # The aggressive tenant is still capped (throttled + displaced)...
+    assert wfq.outcome(AGGRESSIVE).throttled > 0
+
+    # ...and even at full utilisation the polite tenant's goodput cannot
+    # be collapsed: fair queue slots and longest-queue-drop displacement
+    # keep its traffic flowing at its solo rate.
+    wfq_polite = wfq.outcome(POLITE)
+    assert wfq_polite.achieved_rps >= 0.9 * solo.achieved_rps
+    assert wfq_polite.achieved_rps > 1.4 * fifo.outcome(POLITE).achieved_rps
+
+    benchmark.extra_info["aggregate_vs_fifo"] = round(
+        wfq.aggregate_rps / fifo.aggregate_rps, 3
+    )

@@ -43,6 +43,9 @@ from repro.faas import (
     MultiActionSaturatingClient,
     OpenLoopClient,
     SaturatingClient,
+    TenantMix,
+    TenantQuotas,
+    azure_functions_arrivals,
 )
 from repro.runtime import FunctionProfile, Language, build_runtime
 from repro.workloads import (
@@ -79,6 +82,9 @@ __all__ = [
     "OpenLoopClient",
     "SaturatingClient",
     "MultiActionSaturatingClient",
+    "TenantMix",
+    "TenantQuotas",
+    "azure_functions_arrivals",
     "FunctionProfile",
     "Language",
     "build_runtime",

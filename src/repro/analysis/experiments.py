@@ -46,9 +46,12 @@ from repro.faas.loadgen import (
     MultiActionSaturatingClient,
     OpenLoopClient,
     SaturatingClient,
+    TenantMix,
+    azure_functions_arrivals,
 )
 from repro.faas.metrics import LatencyStats
-from repro.faas.scheduler import home_index
+from repro.faas.request import Invocation, InvocationStatus
+from repro.faas.scheduler import estimated_service_seconds, home_index
 from repro.faas.platform import FaaSPlatform
 from repro.runtime.profiles import FunctionProfile, Language
 from repro.workloads.microbench import microbenchmark_profile
@@ -296,15 +299,12 @@ def _saturation_window(profile: FunctionProfile, rounds: int) -> Tuple[float, fl
     """Size a saturated measurement run for one profile.
 
     Returns ``(per_request_estimate, duration, warmup)``.  The per-request
-    estimate is rough container occupancy: execution plus an estimate of
-    restoration (pagemap scan of the footprint + copy-back of the write
-    set); it is used only to size the window so that ``rounds`` requests
-    fit per container.
+    estimate is :func:`~repro.faas.scheduler.estimated_service_seconds` —
+    rough container occupancy (execution plus estimated restoration); it is
+    used only to size the window so that ``rounds`` requests fit per
+    container.
     """
-    restore_estimate = (
-        profile.total_pages * 0.2e-6 + profile.dirtied_pages * 2.4e-6 + 0.002
-    )
-    per_request_estimate = profile.exec_seconds * 1.4 + restore_estimate + 0.005
+    per_request_estimate = estimated_service_seconds(profile)
     duration = max(0.5, rounds * per_request_estimate)
     warmup = min(duration * 0.15, per_request_estimate * 2)
     return per_request_estimate, duration, warmup
@@ -688,6 +688,8 @@ def measure_cluster_throughput(
     rounds: int = 10,
     in_flight_per_action: Optional[int] = None,
     max_queue_per_action: Optional[int] = None,
+    admission_policy: str = "fifo",
+    autoscale: bool = False,
     seed: int = 20230501,
     **mechanism_options,
 ) -> ClusterMeasurement:
@@ -706,8 +708,15 @@ def measure_cluster_throughput(
             invokers=invokers,
             scheduler_policy=policy,
             work_stealing=work_stealing,
-            max_containers_per_action=max(containers, cores),
+            # Under reactive autoscaling the ceiling *starts* at the
+            # pre-warmed count and rises with observed pressure; statically
+            # configured pools get the full core-bounded ceiling up front.
+            max_containers_per_action=(
+                containers if autoscale else max(containers, cores)
+            ),
             max_queue_per_action=max_queue_per_action,
+            admission_policy=admission_policy,
+            autoscale=autoscale,
             seed=seed,
         )
     )
@@ -821,6 +830,8 @@ class LoadPoint:
     steals: int
     warm_hit_rate: float
     routing_skew: float = 1.0
+    #: Arrivals refused by per-tenant quota enforcement.
+    throttled: int = 0
 
     @property
     def strategy(self) -> str:
@@ -843,6 +854,12 @@ def measure_latency_under_load(
     warmup_seconds: float = 0.5,
     max_queue_per_action: Optional[int] = None,
     action_names: Optional[Sequence[str]] = None,
+    admission_policy: str = "fifo",
+    tenant_quota_rps: Optional[float] = None,
+    autoscale: bool = False,
+    calibrate_warm_penalty: bool = False,
+    arrivals: str = "poisson",
+    caller_for=None,
     seed: int = 20230501,
     **mechanism_options,
 ) -> LoadPoint:
@@ -853,7 +870,15 @@ def measure_latency_under_load(
     below the offered load and queueing inflates the latency percentiles.
     ``action_names`` can force a deliberately skewed deployment (e.g. names
     whose home invokers collide, the hash-affinity worst case).
+    ``arrivals="azure"`` replaces the uniform Poisson action mix with the
+    heavy-tailed Azure-Functions-shaped trace of
+    :func:`~repro.faas.loadgen.azure_functions_arrivals` at the same mean
+    rate.  The admission knobs (``admission_policy``, ``tenant_quota_rps``,
+    ``autoscale``, ``calibrate_warm_penalty``) map directly onto the
+    :class:`~repro.config.SimulationConfig` fields of the same names.
     """
+    if arrivals not in ("poisson", "azure"):
+        raise ValueError(f"unknown arrival process {arrivals!r}")
     profile = _profile_of(spec_or_profile)
     platform = FaaSCluster(
         SimulationConfig(
@@ -864,6 +889,10 @@ def measure_latency_under_load(
             work_stealing=work_stealing,
             max_containers_per_action=max(containers, cores),
             max_queue_per_action=max_queue_per_action,
+            admission_policy=admission_policy,
+            tenant_quota_rps=tenant_quota_rps,
+            autoscale=autoscale,
+            calibrate_warm_penalty=calibrate_warm_penalty,
             seed=seed,
         )
     )
@@ -871,13 +900,31 @@ def measure_latency_under_load(
         platform, spec_or_profile, config, actions,
         action_names=action_names, **mechanism_options,
     )
-    client = OpenLoopClient(
-        platform,
-        names,
-        rate_rps=offered_rps,
-        duration_seconds=duration_seconds,
-        warmup_seconds=warmup_seconds,
-    )
+    if arrivals == "azure":
+        offsets, sequence = azure_functions_arrivals(
+            names,
+            duration_seconds=duration_seconds,
+            mean_rps=offered_rps,
+            rng=platform.rng_streams.stream("azure-trace"),
+        )
+        client = OpenLoopClient(
+            platform,
+            names,
+            trace=offsets,
+            action_sequence=sequence,
+            duration_seconds=duration_seconds,
+            warmup_seconds=warmup_seconds,
+            caller_for=caller_for,
+        )
+    else:
+        client = OpenLoopClient(
+            platform,
+            names,
+            rate_rps=offered_rps,
+            duration_seconds=duration_seconds,
+            warmup_seconds=warmup_seconds,
+            caller_for=caller_for,
+        )
     result = client.run()
     return LoadPoint(
         benchmark=profile.qualified_name,
@@ -895,7 +942,31 @@ def measure_latency_under_load(
         steals=platform.steals,
         warm_hit_rate=platform.warm_hit_rate,
         routing_skew=platform.routing_skew,
+        throttled=result.throttled,
     )
+
+
+def balanced_action_names(
+    count: int, *, invokers: int, prefix: str = "even"
+) -> List[str]:
+    """Generate action names whose hash homes spread round-robin.
+
+    The opposite of :func:`colliding_action_names`: action ``i`` homes on
+    invoker ``i % invokers``, so pre-warmed capacity is spread evenly and
+    measured differences come from the policies under test rather than an
+    accident of name hashing.
+    """
+    if invokers < 1:
+        raise ValueError("invokers must be >= 1")
+    names: List[str] = []
+    index = 0
+    while len(names) < count:
+        target = len(names) % invokers
+        name = f"{prefix}-{index}"
+        if home_index(name, invokers) == target:
+            names.append(name)
+        index += 1
+    return names
 
 
 def colliding_action_names(
@@ -989,6 +1060,225 @@ def run_latency_under_load(
         throughput_sweep.add(Series.from_points(label, throughput_points))
         latency_sweep.add(Series.from_points(label, latency_points))
     return {"throughput": throughput_sweep, "p95_ms": latency_sweep}
+
+
+# ---------------------------------------------------------------------------
+# Tenant fairness — admission policies × quota enforcement under contention
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """What one tenant experienced in one fairness scenario."""
+
+    tenant: str
+    #: Arrival rate this tenant drove (requests/second of virtual time).
+    offered_rps: float
+    #: In-window completions per second of measurement window.
+    achieved_rps: float
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+    completed: int
+    rejected: int
+    throttled: int
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Achieved / offered (1.0 = every request of this tenant served)."""
+        if self.offered_rps <= 0:
+            return 0.0
+        return self.achieved_rps / self.offered_rps
+
+
+@dataclass(frozen=True)
+class FairnessScenario:
+    """One (admission policy, quota) configuration under the tenant mix."""
+
+    label: str
+    admission_policy: str
+    tenant_quota_rps: Optional[float]
+    #: Aggregate in-window completions per second, all tenants together.
+    aggregate_rps: float
+    tenants: Dict[str, TenantOutcome]
+
+    def outcome(self, tenant: str) -> TenantOutcome:
+        """The named tenant's outcome."""
+        return self.tenants[tenant]
+
+
+def _tenant_outcomes(
+    client: OpenLoopClient,
+    mix: TenantMix,
+    offered_rps: float,
+    window_start: float,
+    deadline: float,
+) -> Dict[str, TenantOutcome]:
+    """Split one open-loop run's results per tenant.
+
+    Every column is restricted to the post-warmup measurement window —
+    rejections and throttles included, so a cold-start transient covered
+    by the warmup cannot inflate the shed counts shown next to windowed
+    goodput.
+    """
+    window = deadline - window_start
+
+    def in_window(tenant: str, invocations, status: InvocationStatus):
+        return [
+            inv for inv in invocations
+            if inv.caller == tenant
+            and inv.status is status
+            and window_start <= inv.completed_at <= deadline
+        ]
+
+    outcomes: Dict[str, TenantOutcome] = {}
+    for tenant in mix.tenants:
+        completions = in_window(
+            tenant, client.completed, InvocationStatus.COMPLETED
+        )
+        latencies = [inv.e2e_seconds for inv in completions]
+        stats = LatencyStats.from_samples(latencies) if latencies else None
+        outcomes[tenant] = TenantOutcome(
+            tenant=tenant,
+            offered_rps=offered_rps * mix.share(tenant),
+            achieved_rps=len(completions) / window,
+            p50_ms=stats.median * 1000 if stats else None,
+            p99_ms=stats.p99 * 1000 if stats else None,
+            completed=len(completions),
+            rejected=len(
+                in_window(tenant, client.rejected, InvocationStatus.REJECTED)
+            ),
+            throttled=len(
+                in_window(tenant, client.throttled, InvocationStatus.THROTTLED)
+            ),
+        )
+    return outcomes
+
+
+def run_tenant_fairness(
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    config: str = "gh",
+    invokers: int = 2,
+    cores: int = 2,
+    containers: int = 1,
+    actions: int = 4,
+    polite_tenant: str = "polite",
+    aggressive_tenant: str = "aggressive",
+    polite_load_factor: float = 0.25,
+    aggressive_load_factor: float = 3.0,
+    quota_factor: float = 1.2,
+    max_queue_per_action: int = 16,
+    duration_seconds: float = 10.0,
+    warmup_seconds: float = 4.0,
+    seed: int = 20230501,
+) -> Dict[str, FairnessScenario]:
+    """The tenant-fairness experiment: can a burst collapse a polite tenant?
+
+    Two tenants share a cluster: a *polite* tenant offering a modest
+    fraction of the cluster's warm capacity and an *aggressive* tenant
+    offering more than the whole cluster can serve.  Three scenarios, all
+    with the same bounded per-action queues:
+
+    * ``"solo"`` — the polite tenant alone (its entitlement baseline:
+      what it gets when nobody contends).
+    * ``"fifo"`` — both tenants under caller-blind FIFO admission.  The
+      aggressive burst fills every bounded queue, so the polite tenant's
+      requests are shed in proportion to arrival share and its goodput
+      collapses far below the solo run.
+    * ``"wfq+quota"`` — both tenants under deficit-round-robin fair
+      queueing plus per-tenant token-bucket quotas (``quota_factor`` of
+      estimated cluster capacity per tenant).  The aggressive tenant is
+      capped — its excess arrivals are throttled or displaced — while the
+      polite tenant's goodput and tail latency return to its solo run,
+      and the aggregate stays at the FIFO level (fairness re-divides the
+      capacity, it does not waste it).
+
+    ``quota_factor`` defaults slightly *above* the estimated capacity: the
+    quota's job is to cap the aggressive tenant's admitted rate near what
+    the cluster can actually serve (throttling the hopeless excess
+    cheaply, before it churns the queues), not to leave capacity idle —
+    the bounded queues and fair displacement absorb the remainder.
+    ``warmup_seconds`` must cover the initial cold-start transient
+    (container boots run hundreds of milliseconds) so the measured window
+    is steady state.  Returns the three scenarios keyed by label.
+    """
+    if spec is None:
+        spec = representative_benchmarks()[0]
+    capacity = estimate_cluster_capacity_rps(spec, invokers=invokers, cores=cores)
+    polite_rps = capacity * polite_load_factor
+    aggressive_rps = capacity * aggressive_load_factor
+    quota_rps = capacity * quota_factor
+
+    def run_scenario(
+        label: str,
+        mix: TenantMix,
+        offered_rps: float,
+        *,
+        admission_policy: str,
+        tenant_quota_rps: Optional[float],
+    ) -> FairnessScenario:
+        platform = FaaSCluster(
+            SimulationConfig(
+                cores=cores,
+                containers_per_action=containers,
+                invokers=invokers,
+                scheduler_policy="warm-aware",
+                max_containers_per_action=max(containers, cores),
+                max_queue_per_action=max_queue_per_action,
+                admission_policy=admission_policy,
+                tenant_quota_rps=tenant_quota_rps,
+                seed=seed,
+            )
+        )
+        # Balanced homes: pre-warmed capacity spreads evenly, so the
+        # scenarios differ only in admission policy and quotas — not in
+        # an accident of which invoker the action names hash to.
+        names = _deploy_action_copies(
+            platform, spec, config, actions,
+            action_names=balanced_action_names(
+                actions, invokers=invokers, prefix="tenant"
+            ),
+        )
+        client = OpenLoopClient(
+            platform,
+            names,
+            rate_rps=offered_rps,
+            duration_seconds=duration_seconds,
+            warmup_seconds=warmup_seconds,
+            caller_for=mix,
+        )
+        result = client.run()
+        return FairnessScenario(
+            label=label,
+            admission_policy=admission_policy,
+            tenant_quota_rps=tenant_quota_rps,
+            aggregate_rps=result.achieved_rps,
+            tenants=_tenant_outcomes(
+                client, mix, offered_rps,
+                warmup_seconds, duration_seconds,
+            ),
+        )
+
+    solo_mix = TenantMix({polite_tenant: 1.0})
+    contended_mix = TenantMix({
+        aggressive_tenant: aggressive_rps,
+        polite_tenant: polite_rps,
+    })
+    combined_rps = polite_rps + aggressive_rps
+    return {
+        "solo": run_scenario(
+            "solo", solo_mix, polite_rps,
+            admission_policy="fifo", tenant_quota_rps=None,
+        ),
+        "fifo": run_scenario(
+            "fifo", contended_mix, combined_rps,
+            admission_policy="fifo", tenant_quota_rps=None,
+        ),
+        "wfq+quota": run_scenario(
+            "wfq+quota", contended_mix, combined_rps,
+            admission_policy="wfq", tenant_quota_rps=quota_rps,
+        ),
+    }
 
 
 # ---------------------------------------------------------------------------

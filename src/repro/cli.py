@@ -10,6 +10,8 @@ Usage (after installing the package)::
                                         [--policies round-robin hash-affinity]
     python -m repro.cli latency-under-load [--benchmark NAME]
                                            [--load-factors 0.5 1.0 1.25]
+                                           [--arrivals poisson|azure]
+    python -m repro.cli tenant-fairness [--benchmark NAME] [--quota-factor 1.2]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -30,10 +32,11 @@ from repro.analysis.experiments import (
     measure_latency_under_load,
     measure_restores,
     run_lifecycle,
+    run_tenant_fairness,
 )
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
-from repro.config import SCHEDULER_POLICIES
+from repro.config import ADMISSION_POLICIES, SCHEDULER_POLICIES
 from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
 
 
@@ -126,6 +129,8 @@ def cmd_cluster_scaling(args: argparse.Namespace) -> int:
                 actions=args.actions, rounds=args.rounds,
                 max_queue_per_action=args.max_queue,
                 in_flight_per_action=args.in_flight,
+                admission_policy=args.admission,
+                autoscale=args.autoscale,
             )
             rows.append([
                 policy,
@@ -168,6 +173,7 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
                 actions=args.actions,
                 duration_seconds=args.duration,
                 warmup_seconds=warmup,
+                arrivals=args.arrivals,
             )
             rows.append([
                 point.strategy,
@@ -186,7 +192,53 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
         title=(
             f"Latency under open-loop load — {spec.qualified_name} under "
             f"{args.config} ({args.invokers} invokers x {args.cores} cores, "
-            f"{args.actions} actions)"
+            f"{args.actions} actions, {args.arrivals} arrivals)"
+        ),
+    ))
+    return 0
+
+
+def cmd_tenant_fairness(args: argparse.Namespace) -> int:
+    """Tenant-fairness scenarios: FIFO collapse vs WFQ + quota protection."""
+    spec = _spec_from_args(args)
+    scenarios = run_tenant_fairness(
+        spec,
+        config=args.config,
+        invokers=args.invokers,
+        cores=args.cores,
+        actions=args.actions,
+        quota_factor=args.quota_factor,
+        duration_seconds=args.duration,
+        warmup_seconds=min(args.warmup, args.duration / 2),
+    )
+    rows = []
+    for label, scenario in scenarios.items():
+        for tenant, outcome in scenario.tenants.items():
+            rows.append([
+                label,
+                scenario.admission_policy
+                + ("+quota" if scenario.tenant_quota_rps is not None else ""),
+                tenant,
+                f"{outcome.offered_rps:.1f}",
+                f"{outcome.achieved_rps:.1f}",
+                f"{outcome.goodput_fraction * 100:.0f}%",
+                f"{outcome.p50_ms:.1f}" if outcome.p50_ms is not None else "-",
+                f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+                str(outcome.rejected),
+                str(outcome.throttled),
+            ])
+        rows.append([
+            label, "", "(aggregate)", "", f"{scenario.aggregate_rps:.1f}",
+            "", "", "", "", "",
+        ])
+    print(render_table(
+        ["scenario", "admission", "tenant", "offered (req/s)", "achieved (req/s)",
+         "goodput", "p50 (ms)", "p99 (ms)", "rejected", "throttled"],
+        rows,
+        title=(
+            f"Tenant fairness — {spec.qualified_name} under {args.config} "
+            f"({args.invokers} invokers x {args.cores} cores, "
+            f"{args.actions} actions, quota factor {args.quota_factor})"
         ),
     ))
     return 0
@@ -247,6 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--work-stealing", action="store_true",
                                 help="let invokers with spare capacity pull queued "
                                      "invocations from saturated peers")
+    cluster_parser.add_argument("--admission", choices=ADMISSION_POLICIES,
+                                default="fifo",
+                                help="per-action admission queue policy "
+                                     "(default: fifo)")
+    cluster_parser.add_argument("--autoscale", action="store_true",
+                                help="reactively raise/lower each action's "
+                                     "container ceiling from queue depth and "
+                                     "rejections instead of the static maximum")
     cluster_parser.set_defaults(func=cmd_cluster_scaling)
 
     load_parser = subparsers.add_parser(
@@ -271,7 +331,37 @@ def build_parser() -> argparse.ArgumentParser:
                              help="virtual seconds excluded from the "
                                   "measurement window (default: duration/8, "
                                   "capped at 0.5s)")
+    load_parser.add_argument("--arrivals", choices=("poisson", "azure"),
+                             default="poisson",
+                             help="arrival process: uniform Poisson over the "
+                                  "actions, or the heavy-tailed Azure-Functions-"
+                                  "shaped per-action trace")
     load_parser.set_defaults(func=cmd_latency_under_load)
+
+    fairness_parser = subparsers.add_parser(
+        "tenant-fairness",
+        help="aggressive vs polite tenant under FIFO, WFQ and quotas",
+    )
+    add_benchmark_args(fairness_parser, default="get-time")
+    fairness_parser.set_defaults(language="p")
+    fairness_parser.add_argument("--config", default="gh",
+                                 help="isolation configuration (default: gh)")
+    fairness_parser.add_argument("--invokers", type=int, default=2)
+    fairness_parser.add_argument("--cores", type=int, default=2,
+                                 help="cores per invoker (default: 2)")
+    fairness_parser.add_argument("--actions", type=int, default=4,
+                                 help="deployed copies of the action (default: 4)")
+    fairness_parser.add_argument("--quota-factor", type=float, default=1.2,
+                                 help="per-tenant quota as a multiple of the "
+                                      "estimated cluster capacity (default: 1.2; "
+                                      "raise toward ~1.8 to trade tail-latency "
+                                      "isolation for full utilisation)")
+    fairness_parser.add_argument("--duration", type=float, default=10.0,
+                                 help="virtual seconds of arrivals per scenario")
+    fairness_parser.add_argument("--warmup", type=float, default=4.0,
+                                 help="virtual seconds excluded from the window "
+                                      "(must cover the cold-start transient)")
+    fairness_parser.set_defaults(func=cmd_tenant_fairness)
     return parser
 
 

@@ -44,6 +44,12 @@ SCHEDULER_POLICIES = ("round-robin", "least-loaded", "hash-affinity", "warm-awar
 #: cold-started on demand is reclaimed after sitting idle this long.
 DEFAULT_KEEP_ALIVE_SECONDS = 600.0
 
+#: Admission-queue policies an invoker can order its per-action waiting
+#: queues with.  ``fifo`` is the historical arrival-order queue; ``wfq``
+#: is deficit-round-robin fair queueing across tenants (the invocation's
+#: ``caller``) with longest-queue-drop shedding on overflow.
+ADMISSION_POLICIES = ("fifo", "wfq")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -99,6 +105,33 @@ class SimulationConfig:
     #: instead of letting them back up (see
     #: :class:`~repro.faas.scheduler.Scheduler`).
     work_stealing: bool = False
+    #: How each invoker orders its per-action waiting queues: ``"fifo"``
+    #: (arrival order, the seed behaviour) or ``"wfq"`` (deficit-round-robin
+    #: fairness across tenants; see :mod:`repro.faas.admission`).
+    admission_policy: str = "fifo"
+    #: Per-tenant token-bucket admission rate (invocations/second of
+    #: virtual time).  ``None`` disables quotas.  Over-quota invocations
+    #: are refused with the distinct ``THROTTLED`` status.
+    tenant_quota_rps: Optional[float] = None
+    #: Token-bucket burst capacity (maximum banked tokens).  ``None``
+    #: defaults to half a second's worth of the quota rate (>= 1).
+    tenant_quota_burst: Optional[float] = None
+    #: Reactive per-action autoscaling of each invoker's container ceiling
+    #: from observed queue depth and rejections (see
+    #: :class:`~repro.faas.admission.ReactiveAutoscaler`).  When enabled,
+    #: ``max_containers_per_action`` is the *starting* ceiling, not a
+    #: static one.
+    autoscale: bool = False
+    #: Queue depth at which the autoscaler treats an action as
+    #: container-bound and raises its ceiling.
+    autoscale_queue_high: int = 4
+    #: Minimum virtual time between two scaling steps of one action.
+    autoscale_cooldown_seconds: float = 0.25
+    #: Calibrate the ``warm-aware`` policy's cold-start penalty per action
+    #: from the measured boot time and estimated service time at deploy
+    #: time, instead of the fixed 32-load-unit constant (which remains the
+    #: fallback for actions without a measurement).
+    calibrate_warm_penalty: bool = False
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -130,6 +163,22 @@ class SimulationConfig:
             )
         if self.max_queue_per_action is not None and self.max_queue_per_action < 1:
             raise ValueError("max_queue_per_action must be >= 1 (or None for unbounded)")
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission_policy {self.admission_policy!r}; "
+                f"choose one of {ADMISSION_POLICIES}"
+            )
+        if self.tenant_quota_rps is not None and self.tenant_quota_rps <= 0:
+            raise ValueError("tenant_quota_rps must be positive (or None to disable)")
+        if self.tenant_quota_burst is not None:
+            if self.tenant_quota_rps is None:
+                raise ValueError("tenant_quota_burst requires tenant_quota_rps")
+            if self.tenant_quota_burst < 1:
+                raise ValueError("tenant_quota_burst must allow at least one token")
+        if self.autoscale_queue_high < 1:
+            raise ValueError("autoscale_queue_high must be >= 1")
+        if self.autoscale_cooldown_seconds <= 0:
+            raise ValueError("autoscale_cooldown_seconds must be positive")
 
     def with_cores(self, cores: int) -> "SimulationConfig":
         """Return a copy of this config with a different core count."""

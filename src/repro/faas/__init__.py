@@ -2,6 +2,14 @@
 
 from repro.faas.request import Invocation, InvocationStatus
 from repro.faas.action import ActionSpec
+from repro.faas.admission import (
+    AdmissionQueue,
+    FifoQueue,
+    ReactiveAutoscaler,
+    TenantQuotas,
+    WeightedFairQueue,
+    create_admission_queue,
+)
 from repro.faas.proxy import ActionLoopProxy
 from repro.faas.container import Container, ContainerState
 from repro.faas.invoker import Invoker, InvokerSnapshot
@@ -14,6 +22,7 @@ from repro.faas.scheduler import (
     SchedulingPolicy,
     WarmAwarePolicy,
     create_policy,
+    estimated_service_seconds,
     home_index,
 )
 from repro.faas.cluster import FaaSCluster
@@ -24,6 +33,8 @@ from repro.faas.loadgen import (
     OpenLoopClient,
     OpenLoopResult,
     SaturatingClient,
+    TenantMix,
+    azure_functions_arrivals,
 )
 from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
 
@@ -31,6 +42,12 @@ __all__ = [
     "Invocation",
     "InvocationStatus",
     "ActionSpec",
+    "AdmissionQueue",
+    "FifoQueue",
+    "WeightedFairQueue",
+    "TenantQuotas",
+    "ReactiveAutoscaler",
+    "create_admission_queue",
     "ActionLoopProxy",
     "Container",
     "ContainerState",
@@ -44,6 +61,7 @@ __all__ = [
     "HashAffinityPolicy",
     "WarmAwarePolicy",
     "create_policy",
+    "estimated_service_seconds",
     "home_index",
     "FaaSCluster",
     "FaaSPlatform",
@@ -52,6 +70,8 @@ __all__ = [
     "OpenLoopResult",
     "SaturatingClient",
     "MultiActionSaturatingClient",
+    "TenantMix",
+    "azure_functions_arrivals",
     "LatencyStats",
     "MetricsCollector",
     "summarize",

@@ -18,12 +18,18 @@ from typing import Callable, Dict, List, Optional
 from repro.config import SimulationConfig
 from repro.errors import ActionNotFoundError, PlatformError
 from repro.faas.action import ActionSpec
+from repro.faas.admission import ReactiveAutoscaler, TenantQuotas
 from repro.faas.container import Container
 from repro.faas.controller import Controller
 from repro.faas.invoker import Invoker
 from repro.faas.metrics import MetricsCollector
 from repro.faas.request import Invocation
-from repro.faas.scheduler import Scheduler, create_policy
+from repro.faas.scheduler import (
+    Scheduler,
+    WarmAwarePolicy,
+    create_policy,
+    estimated_service_seconds,
+)
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStreams
@@ -43,6 +49,16 @@ class FaaSCluster:
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.rng_streams = RngStreams(self.config.seed)
         self.loop = EventLoop()
+        #: One shared quota ledger: a tenant's token bucket is cluster-wide,
+        #: not a property of whichever invoker the scheduler routed to.
+        self.quotas: Optional[TenantQuotas] = (
+            TenantQuotas(
+                self.config.tenant_quota_rps,
+                burst=self.config.tenant_quota_burst,
+            )
+            if self.config.tenant_quota_rps is not None
+            else None
+        )
         self.invokers: List[Invoker] = [
             Invoker(
                 self.loop,
@@ -55,9 +71,22 @@ class FaaSCluster:
                 invoker_id=f"invoker-{index}",
                 max_queue_per_action=self.config.max_queue_per_action,
                 keep_alive_seconds=self.config.keep_alive_seconds,
+                admission=self.config.admission_policy,
+                quotas=self.quotas,
             )
             for index in range(self.config.invokers)
         ]
+        self.autoscalers: List[ReactiveAutoscaler] = (
+            [
+                ReactiveAutoscaler(
+                    queue_high=self.config.autoscale_queue_high,
+                    cooldown_seconds=self.config.autoscale_cooldown_seconds,
+                ).attach(invoker)
+                for invoker in self.invokers
+            ]
+            if self.config.autoscale
+            else []
+        )
         self.scheduler = Scheduler(
             self.invokers,
             create_policy(self.config.scheduler_policy),
@@ -104,6 +133,19 @@ class FaaSCluster:
         deployed = self.scheduler.deploy(spec, containers=count, max_containers=ceiling)
         self._specs[spec.name] = spec
         self.per_action_metrics[spec.name] = MetricsCollector()
+        if self.config.calibrate_warm_penalty and isinstance(
+            self.scheduler.policy, WarmAwarePolicy
+        ):
+            # The home invoker just booted the pre-warmed containers, so the
+            # measured init time is available; the service-time denominator
+            # is the same estimate the load-sizing heuristics use.
+            init = deployed[0].init_report if deployed else None
+            if init is not None:
+                self.scheduler.policy.calibrate(
+                    spec.name,
+                    boot_seconds=init.total_seconds,
+                    service_seconds=estimated_service_seconds(spec.profile),
+                )
         return deployed
 
     def containers(self, action: str) -> List[Container]:
@@ -209,6 +251,15 @@ class FaaSCluster:
     def steals(self) -> int:
         """Invocations moved between invokers by work stealing."""
         return self.scheduler.steals
+
+    @property
+    def throttled(self) -> int:
+        """Invocations refused by per-tenant quota enforcement."""
+        return sum(inv.invocations_throttled for inv in self.invokers)
+
+    def queued_by_tenant(self) -> Dict[str, int]:
+        """Cluster-wide waiting invocations per tenant."""
+        return self.scheduler.queued_by_tenant()
 
     @property
     def routing_skew(self) -> float:

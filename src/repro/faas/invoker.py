@@ -26,15 +26,29 @@ substrate built on top of it:
   queued requests to warm containers takes priority over starting boots).
   This charges cold-start storms honestly: a load-blind policy that
   scatters requests onto cold invokers pays for every boot in core time.
-* **Backpressure** — each action's FIFO queue can be bounded
-  (``max_queue_per_action``); on overflow the invoker sheds the invocation
-  with :attr:`~repro.faas.request.InvocationStatus.REJECTED` instead of
-  queueing without limit.
+* **Admission layer** — enqueueing, dequeue order, and shed choice live in
+  a pluggable :class:`~repro.faas.admission.AdmissionQueue` per action
+  (``fifo`` reproduces the historical arrival-order behaviour bit for bit;
+  ``wfq`` is tenant-fair deficit round robin), with optional per-tenant
+  token-bucket quotas (:class:`~repro.faas.admission.TenantQuotas`) that
+  refuse over-rate callers with the distinct
+  :attr:`~repro.faas.request.InvocationStatus.THROTTLED` status.
+* **Backpressure** — each action's queue can be bounded
+  (``max_queue_per_action``); on overflow the admission queue decides who
+  is shed with :attr:`~repro.faas.request.InvocationStatus.REJECTED`: the
+  incoming invocation under FIFO, the dominant tenant's newest entry under
+  WFQ (so one tenant's burst cannot shed another tenant's traffic).
+* **Reactive autoscaling** — an attached
+  :class:`~repro.faas.admission.ReactiveAutoscaler` raises each action's
+  ``max_containers`` ceiling under queue/rejection pressure and lowers it
+  when keep-alive eviction reclaims idle containers.
 * **Warmth surface** — :meth:`Invoker.snapshot` exports a structured view
-  (idle-warm containers per action, queue depth, boots in flight, cores in
-  use) that scheduling policies consume instead of a single scalar load,
-  and :meth:`Invoker.release_queued` / :meth:`Invoker.adopt` let a cluster
-  scheduler move queued invocations between invokers (work stealing).
+  (idle-warm containers per action, queue depth — total and per tenant —
+  boots in flight, cores in use) that scheduling policies consume instead
+  of a single scalar load, and :meth:`Invoker.release_queued` /
+  :meth:`Invoker.adopt` let a cluster scheduler move queued invocations
+  between invokers (work stealing) *through the admission queue*, so
+  steals dequeue in the same fair order as local dispatch.
 """
 
 from __future__ import annotations
@@ -42,11 +56,17 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.config import DEFAULT_KEEP_ALIVE_SECONDS
+from repro.config import ADMISSION_POLICIES, DEFAULT_KEEP_ALIVE_SECONDS
 from repro.errors import ActionNotFoundError, PlatformError
 from repro.faas.action import ActionSpec
+from repro.faas.admission import (
+    AdmissionQueue,
+    ReactiveAutoscaler,
+    TenantQuotas,
+    create_admission_queue,
+)
 from repro.faas.container import Container
 from repro.faas.request import Invocation, InvocationStatus
 from repro.kernel.kernel import SimKernel
@@ -55,22 +75,31 @@ from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 
 CompletionCallback = Callable[[Invocation], None]
 
+#: How an invoker builds per-action admission queues: a registry name
+#: (``"fifo"``/``"wfq"``) or a zero-argument factory for custom policies
+#: (e.g. a :class:`~repro.faas.admission.WeightedFairQueue` with weights).
+AdmissionFactory = Union[str, Callable[[], AdmissionQueue]]
+
 
 @dataclass
 class _ActionPool:
     """Warm containers and the waiting queue of one action."""
 
     spec: ActionSpec
+    #: The pluggable waiting queue (admission order + shed choice).
+    queue: AdmissionQueue
     #: Ceiling on containers this invoker may host for the action.
     max_containers: int = 1
     #: How many containers were pre-warmed at deploy time (the eviction floor).
     prewarmed: int = 0
     containers: List[Container] = field(default_factory=list)
     idle: Deque[Container] = field(default_factory=deque)
-    queue: Deque[Tuple[Invocation, CompletionCallback, float]] = field(default_factory=deque)
     #: Cold starts in flight (booting on a core or waiting in the backlog,
     #: not yet in the pool).
     cold_starting: int = 0
+    #: Invocations shed from this action's queue over the pool's lifetime
+    #: (the autoscaler's rejection-pressure signal).
+    rejected: int = 0
 
 
 @dataclass(frozen=True)
@@ -91,8 +120,15 @@ class InvokerSnapshot:
     #: Boots occupying a core right now / waiting in the backlog for one.
     booting: int
     pending_boots: int
-    #: Invocations waiting in per-action FIFO queues, total.
+    #: Invocations waiting in per-action queues, total.
     queued: int
+    #: Waiting invocations not already covered by a cold start in flight.
+    #: A queued invocation whose boot is underway represents the *same*
+    #: unit of demand as that boot, so the load metric counts it once.
+    queued_uncovered: int
+    #: Waiting invocations per tenant across all actions (the fairness
+    #: signal surface: who is occupying this invoker's queue slots).
+    queued_by_tenant: Mapping[str, int]
     #: Idle warm containers per action (only actions with at least one).
     idle_warm: Mapping[str, int]
     #: All containers per action, busy or idle (only non-empty pools).
@@ -104,8 +140,13 @@ class InvokerSnapshot:
 
     @property
     def load(self) -> int:
-        """The least-loaded metric: busy cores + backlogged boots + queue."""
-        return self.cores_in_use + self.pending_boots + self.queued
+        """The least-loaded metric: busy cores + backlogged boots + queue.
+
+        Queued invocations already covered by a boot in flight are not
+        added again — the boot (on a core or in ``pending_boots``) already
+        represents that demand.
+        """
+        return self.cores_in_use + self.pending_boots + self.queued_uncovered
 
     @property
     def free_cores(self) -> int:
@@ -132,6 +173,8 @@ class Invoker:
         invoker_id: str = "invoker-0",
         max_queue_per_action: Optional[int] = None,
         keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS,
+        admission: AdmissionFactory = "fifo",
+        quotas: Optional[TenantQuotas] = None,
     ) -> None:
         if cores < 1:
             raise PlatformError("an invoker needs at least one core")
@@ -139,6 +182,11 @@ class Invoker:
             raise PlatformError("keep_alive_seconds must be positive")
         if max_queue_per_action is not None and max_queue_per_action < 1:
             raise PlatformError("max_queue_per_action must be >= 1 or None")
+        if isinstance(admission, str) and admission not in ADMISSION_POLICIES:
+            raise PlatformError(
+                f"unknown admission policy {admission!r}; "
+                f"choose one of {ADMISSION_POLICIES}"
+            )
         self.loop = loop
         self.cores = cores
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
@@ -148,6 +196,12 @@ class Invoker:
         self.invoker_id = invoker_id
         self.max_queue_per_action = max_queue_per_action
         self.keep_alive_seconds = keep_alive_seconds
+        self._admission = admission
+        #: Shared (usually cluster-wide) per-tenant admission quotas.
+        self.quotas = quotas
+        #: Attached by :meth:`ReactiveAutoscaler.attach`; None = static
+        #: per-action container ceilings.
+        self.autoscaler: Optional[ReactiveAutoscaler] = None
         self._pools: Dict[str, _ActionPool] = {}
         self._cores_in_use = 0
         #: Boots currently occupying a core.
@@ -163,6 +217,8 @@ class Invoker:
         self.invocations_dispatched = 0
         self.invocations_completed = 0
         self.invocations_rejected = 0
+        #: Invocations refused because their tenant exhausted its quota.
+        self.invocations_throttled = 0
         #: Dispatches served by an already-warm container (every dispatch
         #: except the first request of a container booted on demand).
         self.warm_hits = 0
@@ -230,9 +286,16 @@ class Invoker:
     def _new_pool(self, spec: ActionSpec, max_containers: int) -> _ActionPool:
         if spec.name in self._pools:
             raise PlatformError(f"action {spec.name!r} is already deployed")
-        pool = _ActionPool(spec=spec, max_containers=max_containers)
+        pool = _ActionPool(
+            spec=spec, queue=self._new_queue(), max_containers=max_containers
+        )
         self._pools[spec.name] = pool
         return pool
+
+    def _new_queue(self) -> AdmissionQueue:
+        if callable(self._admission):
+            return self._admission()
+        return create_admission_queue(self._admission)
 
     def _build_container(self, spec: ActionSpec, *, dynamic: bool) -> Container:
         return Container(
@@ -260,39 +323,81 @@ class Invoker:
     # ------------------------------------------------------------------
 
     def submit(self, invocation: Invocation, callback: CompletionCallback) -> None:
-        """Dispatch, queue, grow the pool for, or shed one invocation."""
+        """Throttle, dispatch, queue, grow the pool for, or shed one invocation."""
         pool = self._require_pool(invocation.action)
-        invocation.status = InvocationStatus.QUEUED
         arrival = self.loop.now
         self.invocations_submitted += 1
+        # Quota enforcement comes first: a tenant over its admission rate
+        # is refused outright — even when capacity is free — with the
+        # distinct THROTTLED status (policy, not backpressure).
+        if self.quotas is not None and not self.quotas.admit(
+            invocation.caller, arrival
+        ):
+            self.invocations_throttled += 1
+            invocation.mark_throttled(
+                arrival,
+                f"{self.invoker_id}: tenant {invocation.caller!r} exceeded its "
+                f"admission quota",
+            )
+            callback(invocation)
+            return
+        invocation.status = InvocationStatus.QUEUED
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
             return
         # Shed before considering growth: an invocation the bounded queue
         # refuses is not demand, and must not trigger a container boot.
+        # The admission queue picks the victim: FIFO always sheds the
+        # newcomer; WFQ displaces the dominant tenant's newest entry so a
+        # polite tenant's request still gets its slot.
         if (
             self.max_queue_per_action is not None
             and len(pool.queue) >= self.max_queue_per_action
         ):
-            self.invocations_rejected += 1
-            invocation.mark_rejected(
-                self.loop.now,
-                f"{self.invoker_id}: queue for {invocation.action!r} is full "
-                f"({self.max_queue_per_action} waiting)",
-            )
-            callback(invocation)
-            return
-        # Grow the pool only when the action is container-bound: no idle
-        # container exists and the boots already in flight don't cover the
-        # queue (this invocation included).  When containers sit idle the
-        # bottleneck is cores, and another container would not help.
+            displaced = pool.queue.displace(invocation.caller)
+            if displaced is None:
+                self._shed(pool, invocation, callback)
+                self._signal_autoscaler(pool)
+                return
+            victim, victim_callback, _victim_arrival = displaced
+            self._shed(pool, victim, victim_callback)
+        self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
+        pool.queue.push((invocation, callback, arrival))
+        self._signal_autoscaler(pool)
+
+    def _maybe_cold_start(self, pool: _ActionPool, *, waiting: int) -> None:
+        """Grow the pool if ``waiting`` invocations outstrip the boots in flight.
+
+        The demand-matched growth rule: boot another container only when
+        the action is container-bound — no idle container exists and the
+        boots already underway don't cover the waiting demand (``waiting``
+        counts the queue plus any invocation about to join it).  When
+        containers sit idle the bottleneck is cores, and another container
+        would not help.
+        """
         if (
             not pool.idle
-            and pool.cold_starting <= len(pool.queue)
+            and pool.cold_starting < waiting
             and self._can_cold_start(pool)
         ):
             self._cold_start(pool)
-        pool.queue.append((invocation, callback, arrival))
+
+    def _shed(
+        self, pool: _ActionPool, invocation: Invocation, callback: CompletionCallback
+    ) -> None:
+        """Reject one invocation the bounded queue has no room for."""
+        self.invocations_rejected += 1
+        pool.rejected += 1
+        invocation.mark_rejected(
+            self.loop.now,
+            f"{self.invoker_id}: queue for {invocation.action!r} is full "
+            f"({self.max_queue_per_action} waiting)",
+        )
+        callback(invocation)
+
+    def _signal_autoscaler(self, pool: _ActionPool) -> None:
+        if self.autoscaler is not None:
+            self.autoscaler.observe(pool.spec.name, len(pool.queue), pool.rejected)
 
     def _dispatch(
         self,
@@ -347,7 +452,7 @@ class Invoker:
             progressed = False
             for pool in self._pools.values():
                 if pool.queue and pool.idle and self._cores_in_use < self.cores:
-                    invocation, callback, arrival = pool.queue.popleft()
+                    invocation, callback, arrival = pool.queue.pop_next()
                     self._dispatch(pool, invocation, callback, arrival)
                     progressed = True
         self._start_boots()
@@ -363,13 +468,15 @@ class Invoker:
     ) -> Tuple[Invocation, CompletionCallback, float]:
         """Give up one queued invocation of ``action`` to a stealing peer.
 
-        By default the *oldest* waiting invocation (the queue head) is
-        released, preserving the per-action FIFO discipline: the stolen
-        invocation is the one that would have been dispatched next anyway.
-        ``newest=True`` releases the queue tail instead — used when the
-        thief must boot a container first, so the request that would have
-        waited longest seeds the new warm container while the older ones
-        keep their positions here.
+        By default the invocation the admission queue would dispatch next
+        is released (the queue head under FIFO, the fair-order head under
+        WFQ), so the steal preserves the queue's discipline: the stolen
+        invocation is the one that would have run next anyway, and a
+        tenant-fair queue stays tenant-fair across the move.
+        ``newest=True`` releases the most recently enqueued entry instead —
+        used when the thief must boot a container first, so the request
+        that would have waited longest seeds the new warm container while
+        the older ones keep their positions here.
 
         Returns the ``(invocation, callback, arrival)`` entry; the arrival
         timestamp travels with the invocation so its queue time stays
@@ -380,7 +487,7 @@ class Invoker:
             raise PlatformError(
                 f"{self.invoker_id}: no queued invocation of {action!r} to steal"
             )
-        entry = pool.queue.pop() if newest else pool.queue.popleft()
+        entry = pool.queue.pop_newest() if newest else pool.queue.pop_next()
         self.stolen_away += 1
         self._cancel_surplus_boot(pool)
         return entry
@@ -397,23 +504,20 @@ class Invoker:
         otherwise queues it here, booting a container on demand with the
         same demand-matching rule as :meth:`submit`.  The original arrival
         time is preserved.  Unlike :meth:`submit`, an adopted invocation is
-        never shed: the cluster already admitted it through the victim's
-        bounded queue, and rejecting it here would double-charge
-        backpressure — the scheduler keeps bounded thief queues from
-        overfilling by checking :meth:`queue_capacity` before stealing.
+        neither quota-checked nor shed: the victim already admitted it
+        (spending its tenant's token), so throttling or rejecting it here
+        would double-charge admission — the scheduler keeps bounded thief
+        queues from overfilling by checking :meth:`queue_capacity` before
+        stealing.
         """
         pool = self._require_pool(invocation.action)
         self.steals += 1
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
             return
-        if (
-            not pool.idle
-            and pool.cold_starting <= len(pool.queue)
-            and self._can_cold_start(pool)
-        ):
-            self._cold_start(pool)
-        pool.queue.append((invocation, callback, arrival))
+        self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
+        pool.queue.push((invocation, callback, arrival))
+        self._signal_autoscaler(pool)
 
     # ------------------------------------------------------------------
     # Dynamic pools: cold start on demand, keep-alive eviction
@@ -434,6 +538,44 @@ class Invoker:
         return max(
             0, self._growth_ceiling(pool) - len(pool.containers) - pool.cold_starting
         )
+
+    def max_containers(self, action: str) -> int:
+        """The action's current container ceiling on this invoker."""
+        return self._require_pool(action).max_containers
+
+    def set_max_containers(self, action: str, value: int) -> None:
+        """Set the action's container ceiling (>= the pre-warmed floor).
+
+        Lowering the ceiling below the current container count only blocks
+        further growth; existing containers drain through normal keep-alive
+        eviction rather than being killed mid-flight.
+        """
+        pool = self._require_pool(action)
+        if value < max(1, pool.prewarmed):
+            raise PlatformError(
+                f"{self.invoker_id}: max_containers for {action!r} cannot drop "
+                f"below the pre-warmed floor ({max(1, pool.prewarmed)})"
+            )
+        pool.max_containers = value
+
+    def scale_action(self, action: str, delta: int) -> Optional[int]:
+        """Nudge the action's container ceiling by ``delta``, clamped.
+
+        The ceiling stays within ``[pre-warmed floor, cores]`` — growth
+        beyond the core count can never run, and the floor is the deployed
+        capacity the tenant paid for.  Returns the new ceiling, or ``None``
+        when the clamp left it unchanged.  Scaling up immediately considers
+        a demand-matched cold start so the new headroom is used.
+        """
+        pool = self._require_pool(action)
+        floor = max(1, pool.prewarmed)
+        target = max(floor, min(self.cores, pool.max_containers + delta))
+        if target == pool.max_containers:
+            return None
+        pool.max_containers = target
+        if delta > 0:
+            self._maybe_cold_start(pool, waiting=len(pool.queue))
+        return target
 
     def queue_capacity(self, action: str) -> bool:
         """True if ``action``'s queue can take one more entry without
@@ -522,6 +664,10 @@ class Invoker:
                 pool.containers.remove(container)
                 container.shutdown()
                 self.evictions += 1
+                if self.autoscaler is not None:
+                    # Demand faded enough for keep-alive to fire: lower the
+                    # growth ceiling back toward the pre-warmed floor.
+                    self.autoscaler.on_reclaim(pool.spec.name)
         if not self._any_dynamic_containers() and self._eviction_timer is not None:
             # Without dynamic containers there is nothing left to evict;
             # cancelling lets drain-style event-loop runs terminate.
@@ -555,13 +701,26 @@ class Invoker:
 
     @property
     def load(self) -> int:
-        """Busy cores + backlogged boots + waiting invocations.
+        """Busy cores + backlogged boots + uncovered waiting invocations.
 
         Counts every cold start in flight: boots on a core are inside
         ``cores_in_use`` and backlogged boots are added explicitly, so
         load-based policies are never blind to boots already underway.
+        Queued invocations already covered by one of those boots are *not*
+        added again — each unit of demand is counted exactly once, not
+        once as the boot it triggered and once as the queue entry waiting
+        for that boot.
         """
-        return self._cores_in_use + len(self._boot_backlog) + self.queued_invocations()
+        return (
+            self._cores_in_use + len(self._boot_backlog) + self.queued_uncovered()
+        )
+
+    def queued_uncovered(self) -> int:
+        """Waiting invocations not already represented by a boot in flight."""
+        return sum(
+            max(0, len(pool.queue) - pool.cold_starting)
+            for pool in self._pools.values()
+        )
 
     @property
     def warm_hit_rate(self) -> float:
@@ -577,8 +736,18 @@ class Invoker:
         return sum(len(pool.queue) for pool in self._pools.values())
 
     def queued_order(self, action: str) -> List[Invocation]:
-        """The waiting invocations of one action in FIFO order."""
-        return [entry[0] for entry in self._require_pool(action).queue]
+        """The waiting invocations of one action in arrival order."""
+        return self._require_pool(action).queue.invocations()
+
+    def queued_by_tenant(self, action: Optional[str] = None) -> Dict[str, int]:
+        """Waiting invocations per tenant (for one action or all of them)."""
+        if action is not None:
+            return self._require_pool(action).queue.tenants()
+        totals: Dict[str, int] = {}
+        for pool in self._pools.values():
+            for tenant, depth in pool.queue.tenants().items():
+                totals[tenant] = totals.get(tenant, 0) + depth
+        return totals
 
     def idle_warm_actions(self) -> List[str]:
         """Actions with at least one idle warm container, in pool order."""
@@ -609,6 +778,8 @@ class Invoker:
             booting=self._booting,
             pending_boots=len(self._boot_backlog),
             queued=self.queued_invocations(),
+            queued_uncovered=self.queued_uncovered(),
+            queued_by_tenant=self.queued_by_tenant(),
             idle_warm=idle_warm,
             warm_total=warm_total,
             boots_in_flight=boots,
@@ -623,10 +794,13 @@ class Invoker:
             "dispatched": self.invocations_dispatched,
             "completed": self.invocations_completed,
             "rejected": self.invocations_rejected,
+            "throttled": self.invocations_throttled,
             "warm_hits": self.warm_hits,
             "cold_starts": self.cold_starts,
             "boot_core_seconds": round(self.boot_core_seconds, 6),
             "evictions": self.evictions,
+            "scale_ups": self.autoscaler.scale_ups if self.autoscaler else 0,
+            "scale_downs": self.autoscaler.scale_downs if self.autoscaler else 0,
             "steals": self.steals,
             "stolen_away": self.stolen_away,
             "containers": sum(len(p.containers) for p in self._pools.values()),

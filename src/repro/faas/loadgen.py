@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import PlatformError
 from repro.faas.cluster import FaaSCluster
@@ -43,6 +43,110 @@ def _default_callers(count: int = 8) -> Callable[[int], str]:
         return f"user-{index % count:02d}"
 
     return caller_for
+
+
+class TenantMix:
+    """Deterministic weighted assignment of arrivals to tenants.
+
+    A multi-tenant arrival stream: each issued request is tagged with a
+    caller identity drawn from a weighted mix of tenants (e.g. an
+    aggressive tenant at 4x a polite tenant's rate).  Assignment uses the
+    smooth weighted-round-robin schedule (each step the tenant with the
+    highest accumulated credit is chosen and pays back the total weight),
+    so the interleaving is maximally even, exactly proportional over any
+    long window, and a pure function of the request index — thinning a
+    Poisson arrival process through it yields per-tenant streams at the
+    weighted rates without consuming any randomness.
+
+    Instances are callables compatible with every client's ``caller_for``
+    parameter.
+    """
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise PlatformError("a tenant mix needs at least one tenant")
+        for tenant, weight in weights.items():
+            if weight <= 0:
+                raise PlatformError(
+                    f"tenant {tenant!r} needs a positive weight (got {weight})"
+                )
+        self.weights: Dict[str, float] = {t: float(w) for t, w in weights.items()}
+        self._total = sum(self.weights.values())
+        self._credit: Dict[str, float] = {tenant: 0.0 for tenant in self.weights}
+        self._schedule: List[str] = []
+
+    @property
+    def tenants(self) -> List[str]:
+        """The tenants of the mix, in declaration order."""
+        return list(self.weights)
+
+    def share(self, tenant: str) -> float:
+        """The fraction of arrivals assigned to ``tenant``."""
+        return self.weights[tenant] / self._total
+
+    def __call__(self, index: int) -> str:
+        if index < 0:
+            raise PlatformError("arrival index must be >= 0")
+        while len(self._schedule) <= index:
+            for tenant in self._credit:
+                self._credit[tenant] += self.weights[tenant]
+            # max() returns the first maximum in iteration (declaration)
+            # order, so ties break deterministically.
+            chosen = max(self._credit, key=self._credit.get)
+            self._credit[chosen] -= self._total
+            self._schedule.append(chosen)
+        return self._schedule[index]
+
+
+def azure_functions_arrivals(
+    actions: Sequence[str],
+    *,
+    duration_seconds: float,
+    mean_rps: float,
+    rng: random.Random,
+    skew: float = 1.5,
+) -> Tuple[List[float], List[str]]:
+    """Generate an Azure-Functions-shaped arrival trace over ``actions``.
+
+    The production characteristic of the Azure Functions traces is a
+    heavy-tailed per-function invocation mix: a handful of functions
+    receive the overwhelming majority of invocations while the long tail
+    is invoked rarely.  This generator reproduces that shape with a
+    Zipf-like rate assignment — action ``i`` (in the given order) gets a
+    rate proportional to ``1 / (i + 1) ** skew`` — and an independent
+    Poisson arrival process per action at its assigned rate, merged into
+    one chronologically sorted trace.
+
+    Returns ``(offsets, action_sequence)``: arrival time offsets (sorted,
+    starting at >= 0) and the action each arrival targets, ready for
+    :class:`OpenLoopClient`'s trace mode (``trace=offsets,
+    action_sequence=action_sequence``).  Generation draws only from
+    ``rng``, so identical inputs reproduce identical traces.
+    """
+    if not actions:
+        raise PlatformError("an arrival trace needs at least one action")
+    if duration_seconds <= 0:
+        raise PlatformError("duration must be positive")
+    if mean_rps <= 0:
+        raise PlatformError("mean_rps must be positive")
+    if skew < 0:
+        raise PlatformError("skew must be >= 0")
+    weights = [1.0 / (index + 1) ** skew for index in range(len(actions))]
+    total_weight = sum(weights)
+    arrivals: List[Tuple[float, str]] = []
+    for action, weight in zip(actions, weights):
+        rate = mean_rps * weight / total_weight
+        offset = rng.expovariate(rate)
+        while offset <= duration_seconds:
+            arrivals.append((offset, action))
+            offset += rng.expovariate(rate)
+    if not arrivals:
+        raise PlatformError(
+            "the requested rate and duration produced no arrivals; "
+            "raise mean_rps or duration_seconds"
+        )
+    arrivals.sort(key=lambda pair: pair[0])
+    return [offset for offset, _ in arrivals], [action for _, action in arrivals]
 
 
 class ClosedLoopClient:
@@ -142,6 +246,7 @@ class MultiActionSaturatingClient:
         self.caller_for = caller_for if caller_for is not None else _default_callers()
         self.completed: List[Invocation] = []
         self.rejected: List[Invocation] = []
+        self.throttled: List[Invocation] = []
         self._issued = 0
         self._start_time = 0.0
         self._ran = False
@@ -163,13 +268,21 @@ class MultiActionSaturatingClient:
             )
 
         def on_complete(invocation: Invocation) -> None:
-            if invocation.status is InvocationStatus.REJECTED:
-                self.rejected.append(invocation)
+            if invocation.status in (
+                InvocationStatus.REJECTED,
+                InvocationStatus.THROTTLED,
+            ):
+                (
+                    self.rejected
+                    if invocation.status is InvocationStatus.REJECTED
+                    else self.throttled
+                ).append(invocation)
                 if self.platform.now < deadline:
-                    # Back off before retrying a shed request: with a
-                    # zero-overhead platform a same-timestamp re-issue would
-                    # be shed again without advancing virtual time, looping
-                    # the event loop forever at one instant.
+                    # Back off before retrying a shed (or quota-refused)
+                    # request: with a zero-overhead platform a
+                    # same-timestamp re-issue would be refused again without
+                    # advancing virtual time, looping the event loop forever
+                    # at one instant.
                     self.platform.loop.schedule(
                         self.retry_backoff_seconds,
                         lambda: issue_one(invocation.action),
@@ -265,6 +378,8 @@ class OpenLoopResult:
     #: Completions / rejections over the run (any time, not just in-window).
     completed: int
     rejected: int
+    #: Arrivals refused by per-tenant quota enforcement over the run.
+    throttled: int
     #: Completions inside the measurement window, per second of window.
     achieved_rps: float
     #: End-to-end latency over in-window completions (``None`` if none).
@@ -287,9 +402,14 @@ class OpenLoopClient:
     (exponential inter-arrival gaps drawn from ``rng``) or from an explicit
     ``trace`` of arrival offsets, and are issued *regardless of what the
     platform does with them* — completions do not gate the next arrival,
-    and shed (rejected) invocations are lost, not retried.  With several
-    actions, each arrival is assigned to an action uniformly at random
-    (thinning: the per-action processes are then Poisson too).
+    and shed (rejected) or quota-refused (throttled) invocations are lost,
+    not retried.  With several actions, each arrival is assigned to an
+    action uniformly at random (thinning: the per-action processes are
+    then Poisson too), unless a trace supplies an explicit
+    ``action_sequence`` (e.g. the heavy-tailed per-action mix of
+    :func:`azure_functions_arrivals`).  Multi-tenant streams are a matter
+    of ``caller_for`` — pass a :class:`TenantMix` to tag arrivals with
+    skewed tenant identities.
 
     The run lasts ``duration_seconds`` of virtual time; completions are
     measured inside the post-``warmup_seconds`` window.  After the last
@@ -304,6 +424,7 @@ class OpenLoopClient:
         *,
         rate_rps: Optional[float] = None,
         trace: Optional[Sequence[float]] = None,
+        action_sequence: Optional[Sequence[str]] = None,
         duration_seconds: Optional[float] = None,
         warmup_seconds: float = 0.0,
         payload: Optional[bytes] = None,
@@ -329,6 +450,18 @@ class OpenLoopClient:
                 raise PlatformError("trace offsets must be non-negative and sorted")
             if duration_seconds is None:
                 duration_seconds = float(trace[-1])
+        if action_sequence is not None:
+            if trace is None:
+                raise PlatformError("action_sequence requires an arrival trace")
+            if len(action_sequence) != len(trace):
+                raise PlatformError(
+                    "action_sequence must assign one action per trace arrival"
+                )
+            unknown = set(action_sequence) - set(self.actions)
+            if unknown:
+                raise PlatformError(
+                    f"action_sequence names undeployed actions: {sorted(unknown)}"
+                )
         if duration_seconds is None or duration_seconds <= 0:
             raise PlatformError("duration must be positive")
         if not 0 <= warmup_seconds < duration_seconds:
@@ -336,6 +469,9 @@ class OpenLoopClient:
         self.platform = platform
         self.rate_rps = rate_rps
         self.trace = list(trace) if trace is not None else None
+        self.action_sequence = (
+            list(action_sequence) if action_sequence is not None else None
+        )
         self.duration_seconds = float(duration_seconds)
         self.warmup_seconds = warmup_seconds
         self.payload = payload
@@ -350,6 +486,7 @@ class OpenLoopClient:
             self.rng = self._streams.stream("open-loop")
         self.completed: List[Invocation] = []
         self.rejected: List[Invocation] = []
+        self.throttled: List[Invocation] = []
         self._issued = 0
 
     def _arrival_gap(self) -> float:
@@ -367,16 +504,19 @@ class OpenLoopClient:
         def on_complete(invocation: Invocation) -> None:
             if invocation.status is InvocationStatus.REJECTED:
                 self.rejected.append(invocation)
+            elif invocation.status is InvocationStatus.THROTTLED:
+                self.throttled.append(invocation)
             else:
                 self.completed.append(invocation)
 
-        def issue_one() -> None:
+        def issue_one(action: Optional[str] = None) -> None:
             index = self._issued
             self._issued += 1
-            if len(self.actions) == 1:
-                action = self.actions[0]
-            else:
-                action = self.actions[self.rng.randrange(len(self.actions))]
+            if action is None:
+                if len(self.actions) == 1:
+                    action = self.actions[0]
+                else:
+                    action = self.actions[self.rng.randrange(len(self.actions))]
             self.platform.invoke_async(
                 action,
                 self.payload,
@@ -385,11 +525,18 @@ class OpenLoopClient:
             )
 
         if self.trace is not None:
-            for offset in self.trace:
+            for position, offset in enumerate(self.trace):
                 if offset > self.duration_seconds:
                     break
+                action = (
+                    self.action_sequence[position]
+                    if self.action_sequence is not None
+                    else None
+                )
                 self.platform.loop.schedule_at(
-                    start + offset, issue_one, label="open-loop arrival"
+                    start + offset,
+                    lambda action=action: issue_one(action),
+                    label="open-loop arrival",
                 )
         else:
 
@@ -427,6 +574,7 @@ class OpenLoopClient:
             issued=self._issued,
             completed=len(self.completed),
             rejected=len(self.rejected),
+            throttled=len(self.throttled),
             achieved_rps=len(in_window) / window,
             e2e=LatencyStats.from_samples(latencies) if latencies else None,
             queue_seconds_mean=(

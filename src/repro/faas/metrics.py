@@ -30,6 +30,7 @@ class LatencyStats:
     p75: float
     p90: float
     p95: float
+    p99: float
     maximum: float
 
     @classmethod
@@ -52,6 +53,7 @@ class LatencyStats:
             p75=percentile(ordered, 75),
             p90=percentile(ordered, 90),
             p95=percentile(ordered, 95),
+            p99=percentile(ordered, 99),
             maximum=ordered[-1],
         )
 
@@ -95,6 +97,7 @@ class MetricsCollector:
         self._completed: List[Invocation] = []
         self._failed: List[Invocation] = []
         self._rejected: List[Invocation] = []
+        self._throttled: List[Invocation] = []
 
     def record(self, invocation: Invocation) -> None:
         """Record a finished invocation."""
@@ -102,6 +105,8 @@ class MetricsCollector:
             self._completed.append(invocation)
         elif invocation.status is InvocationStatus.REJECTED:
             self._rejected.append(invocation)
+        elif invocation.status is InvocationStatus.THROTTLED:
+            self._throttled.append(invocation)
         else:
             self._failed.append(invocation)
 
@@ -130,20 +135,50 @@ class MetricsCollector:
         return len(self._completed)
 
     @property
+    def throttled(self) -> List[Invocation]:
+        """All invocations refused by per-tenant quota enforcement."""
+        return list(self._throttled)
+
+    @property
     def num_rejected(self) -> int:
         """Number of invocations shed by backpressure."""
         return len(self._rejected)
 
     @property
+    def num_throttled(self) -> int:
+        """Number of invocations refused by per-tenant quotas."""
+        return len(self._throttled)
+
+    @property
     def num_recorded(self) -> int:
-        """Total invocations recorded (completed + failed + rejected)."""
-        return len(self._completed) + len(self._failed) + len(self._rejected)
+        """Total invocations recorded (completed/failed/rejected/throttled)."""
+        return (
+            len(self._completed)
+            + len(self._failed)
+            + len(self._rejected)
+            + len(self._throttled)
+        )
 
     @property
     def rejection_rate(self) -> float:
         """Fraction of recorded invocations that were shed."""
         total = self.num_recorded
         return len(self._rejected) / total if total else 0.0
+
+    @property
+    def throttle_rate(self) -> float:
+        """Fraction of recorded invocations refused by quotas."""
+        total = self.num_recorded
+        return len(self._throttled) / total if total else 0.0
+
+    def by_caller(self) -> Dict[str, "MetricsCollector"]:
+        """Split the recorded invocations into per-tenant collectors."""
+        per_tenant: Dict[str, MetricsCollector] = {}
+        for bucket in (self._completed, self._failed, self._rejected, self._throttled):
+            for invocation in bucket:
+                collector = per_tenant.setdefault(invocation.caller, MetricsCollector())
+                collector.record(invocation)
+        return per_tenant
 
     def e2e_latencies(self, skip_warmup: int = 0) -> List[float]:
         """End-to-end latencies, optionally skipping the first samples."""

@@ -28,6 +28,11 @@ class InvocationStatus(enum.Enum):
     #: Shed by backpressure: the action's bounded queue was full, so the
     #: platform refused the invocation instead of queueing it.
     REJECTED = "rejected"
+    #: Refused by per-tenant quota enforcement: the caller exhausted its
+    #: token-bucket admission rate.  Deliberately distinct from
+    #: ``REJECTED`` — a quota refusal is policy ("you exceeded your
+    #: rate"), not capacity ("the platform is overloaded").
+    THROTTLED = "throttled"
 
 
 @dataclass
@@ -78,3 +83,9 @@ class Invocation:
         self.completed_at = now
         self.error = reason
         self.status = InvocationStatus.REJECTED
+
+    def mark_throttled(self, now: float, reason: str = "tenant over quota") -> None:
+        """Record that per-tenant quota enforcement refused this invocation."""
+        self.completed_at = now
+        self.error = reason
+        self.status = InvocationStatus.THROTTLED

@@ -64,6 +64,23 @@ from repro.faas.action import ActionSpec
 from repro.faas.container import Container
 from repro.faas.invoker import CompletionCallback, Invoker, InvokerSnapshot
 from repro.faas.request import Invocation
+from repro.runtime.profiles import FunctionProfile
+
+
+def estimated_service_seconds(profile: FunctionProfile) -> float:
+    """Rough per-request container occupancy of one function profile.
+
+    Execution plus an estimate of restoration (pagemap scan of the
+    footprint + copy-back of the write set) plus fixed platform handling —
+    the sizing heuristic the experiment drivers use for measurement
+    windows, and the denominator of the calibrated warm-aware cold-start
+    penalty (a boot costs ``boot_seconds / service_seconds`` requests'
+    worth of core time).
+    """
+    restore_estimate = (
+        profile.total_pages * 0.2e-6 + profile.dirtied_pages * 2.4e-6 + 0.002
+    )
+    return profile.exec_seconds * 1.4 + restore_estimate + 0.005
 
 
 def home_index(action: str, num_invokers: int) -> int:
@@ -156,13 +173,22 @@ class WarmAwarePolicy(SchedulingPolicy):
 
     An invoker that already has containers (or boots in flight) for the
     action competes on its load alone; an invoker that would have to boot
-    a fresh container carries ``cold_start_penalty`` extra load units —
-    roughly the requests' worth of core time a boot costs (a container
-    initialisation runs hundreds of milliseconds against typical
-    millisecond-scale functions, hence the large default).  Traffic
-    therefore sticks to warm invokers while they are competitive and
-    spills to a cold invoker only once the warm backlog outweighs a boot,
-    which is exactly when paying for the boot is worth it.
+    a fresh container carries a cold-start penalty in extra load units —
+    the requests' worth of core time a boot costs.  Traffic therefore
+    sticks to warm invokers while they are competitive and spills to a
+    cold invoker only once the warm backlog outweighs a boot, which is
+    exactly when paying for the boot is worth it.
+
+    The penalty is the fixed ``cold_start_penalty`` constant (32 load
+    units — a container initialisation runs hundreds of milliseconds
+    against typical millisecond-scale functions, hence the large default)
+    unless the action was :meth:`calibrate`\\ d, in which case the
+    workload-derived boot/service-time ratio is used: a deployment can
+    register each action's measured boot time against its estimated
+    per-request service time, so heavyweight functions (few requests'
+    worth per boot) spill earlier than lightweight ones (many requests'
+    worth per boot).  The constant remains the fallback for actions
+    without a calibration.
     """
 
     name = "warm-aware"
@@ -171,15 +197,38 @@ class WarmAwarePolicy(SchedulingPolicy):
         if cold_start_penalty < 0:
             raise PlatformError("cold_start_penalty must be >= 0")
         self.cold_start_penalty = cold_start_penalty
+        #: Per-action calibrated penalties (boot/service-time ratios).
+        self._calibrated: Dict[str, float] = {}
+
+    def calibrate(
+        self, action: str, *, boot_seconds: float, service_seconds: float
+    ) -> float:
+        """Derive and register the action's penalty from workload estimates.
+
+        Returns the penalty: how many requests' worth of core time one
+        container boot costs for this action.
+        """
+        if boot_seconds < 0:
+            raise PlatformError("boot_seconds must be >= 0")
+        if service_seconds <= 0:
+            raise PlatformError("service_seconds must be positive")
+        penalty = boot_seconds / service_seconds
+        self._calibrated[action] = penalty
+        return penalty
+
+    def penalty_for(self, action: str) -> float:
+        """The action's cold-start penalty (calibrated, else the constant)."""
+        return self._calibrated.get(action, self.cold_start_penalty)
 
     def choose(
         self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
     ) -> int:
         action = invocation.action
+        cold_penalty = self.penalty_for(action)
 
         def score(index: int) -> Tuple[float, int, int]:
             snap = snapshots[index]
-            penalty = 0.0 if snap.warmth(action) > 0 else self.cold_start_penalty
+            penalty = 0.0 if snap.warmth(action) > 0 else cold_penalty
             return (snap.load + penalty, snap.load, index)
 
         return min(range(len(snapshots)), key=score)
@@ -415,6 +464,14 @@ class Scheduler:
     def snapshots(self) -> List[InvokerSnapshot]:
         """The structured state of every invoker, in index order."""
         return [invoker.snapshot() for invoker in self.invokers]
+
+    def queued_by_tenant(self) -> Dict[str, int]:
+        """Cluster-wide waiting invocations per tenant, across all invokers."""
+        totals: Dict[str, int] = {}
+        for invoker in self.invokers:
+            for tenant, depth in invoker.queued_by_tenant().items():
+                totals[tenant] = totals.get(tenant, 0) + depth
+        return totals
 
     def routing_skew(self) -> float:
         """Max/mean invocations routed per invoker (1.0 = perfectly even).

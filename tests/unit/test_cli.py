@@ -60,6 +60,34 @@ class TestCli:
         assert "warm-aware+steal" in out
         assert "goodput" in out
 
+    def test_latency_under_load_azure_arrivals(self, capsys):
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "1.0",
+            "--arrivals", "azure",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "azure arrivals" in out
+
+    def test_tenant_fairness_reports_all_scenarios(self, capsys):
+        assert main([
+            "tenant-fairness", "--invokers", "1", "--cores", "2",
+            "--actions", "2", "--duration", "3.0", "--warmup", "1.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Tenant fairness" in out
+        for token in ("solo", "fifo", "wfq+quota", "throttled", "aggressive", "polite"):
+            assert token in out
+
+    def test_cluster_scaling_accepts_admission_and_autoscale(self, capsys):
+        assert main([
+            "cluster-scaling", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--policies", "least-loaded", "--rounds", "1",
+            "--actions", "2", "--admission", "wfq", "--autoscale",
+        ]) == 0
+        assert "least-loaded" in capsys.readouterr().out
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

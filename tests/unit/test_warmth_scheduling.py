@@ -124,18 +124,42 @@ class TestCoreChargedColdStarts:
 
     def test_load_counts_boots_in_flight(self, small_python_profile, small_c_profile):
         # Boots on a core and boots in the backlog both show up in the
-        # least-loaded metric, so policies are not blind to them.
+        # least-loaded metric, so policies are not blind to them — but a
+        # queued invocation whose boot is already in flight is the *same*
+        # unit of demand as that boot, and must not be counted twice.
         loop = EventLoop()
         invoker = Invoker(loop, cores=1)
         invoker.register(_action(small_python_profile, "a"), max_containers=1)
         invoker.register(_action(small_c_profile, "b"), max_containers=1)
         assert invoker.load == 0
         invoker.submit(Invocation(action="a", payload=b"x"), lambda inv: None)
-        # One boot occupying the core + one queued invocation.
-        assert invoker.load == 2
+        # One boot occupying the core; the queued invocation it will serve
+        # is covered by it, not added on top.
+        assert invoker.cores_in_use == 1
+        assert invoker.queued_invocations() == 1
+        assert invoker.load == 1
         invoker.submit(Invocation(action="b", payload=b"x"), lambda inv: None)
-        # + one backlogged boot + one more queued invocation.
-        assert invoker.load == 4
+        # + one backlogged boot covering the second queued invocation.
+        assert invoker.pending_boots == 1
+        assert invoker.load == 2
+
+    def test_load_counts_uncovered_queue_beyond_boots(self, small_python_profile):
+        # Regression for the double-count fix's other direction: queued
+        # work *beyond* what the boots in flight can absorb still counts.
+        loop = EventLoop()
+        invoker = Invoker(loop, cores=1)
+        invoker.register(_action(small_python_profile, "a"), max_containers=1)
+        for _ in range(3):
+            invoker.submit(Invocation(action="a", payload=b"x"), lambda inv: None)
+        # One boot on the core (covers one queued entry), two uncovered.
+        assert invoker.cores_in_use == 1
+        assert invoker.queued_invocations() == 3
+        assert invoker.queued_uncovered() == 2
+        assert invoker.load == 3
+        snap = invoker.snapshot()
+        assert snap.queued == 3
+        assert snap.queued_uncovered == 2
+        assert snap.load == invoker.load
 
 
 class TestInvokerSnapshot:
@@ -225,8 +249,9 @@ class TestWarmAwarePolicy:
         cold.register(spec, max_containers=4)
         booting.submit(Invocation(action="inflight", payload=b"x"), lambda inv: None)
         policy = WarmAwarePolicy(cold_start_penalty=32.0)
-        # booting has load 2 (boot on core + queued) but warmth 1; cold has
-        # load 0 but would boot fresh: 2 < 0 + 32.
+        # booting has load 1 (boot on core; the queued invocation it will
+        # serve is covered) but warmth 1; cold has load 0 but would boot
+        # fresh: 1 < 0 + 32.
         assert policy.select([cold, booting], Invocation(action="inflight")) == 1
 
     def test_registry_and_config_expose_warm_aware(self):
