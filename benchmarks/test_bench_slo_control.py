@@ -1,0 +1,177 @@
+"""SLO control — can the cluster run itself without hand-picked knobs?
+
+PR 3's tenant-fairness benchmark needed an operator to *choose* the quota
+(``quota_factor``); PR 2's capacity story relied on an opportunistic
+scheduler trick (tail boot-steals at backlog 8).  This benchmark drives
+:func:`run_slo_control`'s two closed loops:
+
+* **Quota tuning** — two tenants (one bursty, one polite), *no quota
+  configured anywhere*.  Under static knobs (caller-blind FIFO) the burst
+  collapses the polite tenant's goodput and tail latency without bound.
+  With a declared SLO and the control plane on, the AIMD tuner discovers
+  the throttle point by feedback: the polite tenant's p99 lands within
+  25% of its uncontended solo run.
+* **Capacity planning** — the hash-affinity worst case (every action
+  homes on invoker 0) with work stealing on.  The per-invoker reactive
+  autoscaler only reacts locally, so relief waits for deep backlogs; the
+  CapacityPlanner shifts pre-warmed capacity to idle peers ahead of the
+  steals, beating the reactive baseline on warm-hit rate and tail
+  latency while keeping aggregate goodput within 5%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_slo_control
+from repro.analysis.tables import render_table
+from repro.workloads import find_benchmark
+
+POLITE = "polite"
+AGGRESSIVE = "aggressive"
+
+
+def _render_quota(result):
+    rows = []
+    for label, scenario in result.quota.items():
+        for tenant, outcome in scenario.tenants.items():
+            rows.append([
+                label,
+                scenario.admission_policy + ("+control" if scenario.control else ""),
+                tenant,
+                f"{outcome.offered_rps:.1f}",
+                f"{outcome.achieved_rps:.1f}",
+                f"{outcome.goodput_fraction * 100:.0f}%",
+                f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+                str(outcome.rejected),
+                str(outcome.throttled),
+            ])
+    print()
+    print(render_table(
+        ["scenario", "admission", "tenant", "offered", "achieved", "goodput",
+         "p99 (ms)", "rejected", "throttled"],
+        rows,
+        title=(
+            "SLO quota control — declared polite p99 target "
+            f"{result.polite_slo_p99_ms:.1f} ms, no hand-set quotas"
+        ),
+    ))
+
+
+def _render_capacity(result):
+    rows = [
+        [
+            outcome.label,
+            f"{outcome.offered_rps:.1f}",
+            f"{outcome.achieved_rps:.1f}",
+            f"{outcome.goodput_fraction * 100:.0f}%",
+            f"{outcome.warm_hit_rate * 100:.2f}%",
+            str(outcome.cold_starts),
+            str(outcome.steals),
+            str(outcome.prewarms),
+            str(outcome.drains),
+            f"{outcome.p95_ms:.1f}" if outcome.p95_ms is not None else "-",
+        ]
+        for outcome in result.capacity.values()
+    ]
+    print()
+    print(render_table(
+        ["regime", "offered", "achieved", "goodput", "warm hits",
+         "cold starts", "steals", "prewarms", "drains", "p95 (ms)"],
+        rows,
+        title="Capacity planning — hash-affinity colliding homes, stealing on",
+    ))
+
+
+def test_slo_quota_tuning_protects_the_polite_tenant(benchmark, bench_once, bench_scale):
+    spec = find_benchmark("get-time", "p")
+    duration = bench_scale(12.0, 10.0)
+    result = bench_once(
+        benchmark,
+        lambda: run_slo_control(
+            spec, parts=("quota",),
+            duration_seconds=duration, warmup_seconds=duration - 7.0,
+        ),
+    )
+    _render_quota(result)
+
+    solo = result.quota["solo"].outcome(POLITE)
+    static = result.quota["static"]
+    controlled = result.quota["controlled"]
+
+    # Static knobs: the burst degrades the polite tenant without bound —
+    # goodput collapses and the tail explodes.
+    static_polite = static.outcome(POLITE)
+    assert static_polite.achieved_rps < 0.75 * solo.achieved_rps, (
+        f"static knobs did not collapse the polite tenant "
+        f"({static_polite.achieved_rps:.1f} vs solo {solo.achieved_rps:.1f} req/s)"
+    )
+    assert static_polite.p99_ms > 2.0 * solo.p99_ms
+
+    # Control plane: no quota was configured anywhere, yet the polite
+    # tenant's p99 lands within 25% of its solo run (the acceptance bar)
+    # at full goodput.
+    controlled_polite = controlled.outcome(POLITE)
+    assert controlled_polite.p99_ms <= 1.25 * solo.p99_ms, (
+        f"controlled polite p99 ({controlled_polite.p99_ms:.1f} ms) is not "
+        f"within 25% of solo ({solo.p99_ms:.1f} ms)"
+    )
+    assert controlled_polite.achieved_rps >= 0.9 * solo.achieved_rps
+
+    # The win is the loop's doing: it cut the bursty tenant's admission
+    # rate by feedback (visible as throttles) rather than configuration.
+    assert controlled.control_stats["rate_cuts"] >= 1
+    assert controlled.outcome(AGGRESSIVE).throttled > 0
+
+    benchmark.extra_info["controlled_p99_ratio_vs_solo"] = round(
+        controlled_polite.p99_ms / solo.p99_ms, 3
+    )
+    benchmark.extra_info["static_p99_ratio_vs_solo"] = round(
+        static_polite.p99_ms / solo.p99_ms, 3
+    )
+    benchmark.extra_info["rate_cuts"] = controlled.control_stats["rate_cuts"]
+
+
+def test_capacity_planner_beats_reactive_autoscaling(benchmark, bench_once, bench_scale):
+    spec = find_benchmark("md2html", "p")
+    duration = bench_scale(8.0, 6.0)
+    result = bench_once(
+        benchmark,
+        lambda: run_slo_control(
+            spec, parts=("capacity",),
+            capacity_duration_seconds=duration,
+            capacity_warmup_seconds=2.5,
+        ),
+    )
+    _render_capacity(result)
+
+    reactive = result.capacity["reactive"]
+    planned = result.capacity["planned"]
+
+    # The planner shifted real capacity: containers were seeded on peers
+    # ahead of the steals that used them.
+    assert planned.prewarms > 0
+    assert len(planned.migrations) > 0
+
+    # Seeded peers serve steals warm, so the planned run wins on warm-hit
+    # rate under the honest accounting (a boot only counts against a
+    # request that actually waited on it)...
+    assert planned.warm_hit_rate > reactive.warm_hit_rate, (
+        f"planned warm-hit rate ({planned.warm_hit_rate:.4f}) did not beat "
+        f"reactive ({reactive.warm_hit_rate:.4f})"
+    )
+
+    # ...and on tail latency, without giving up aggregate goodput (the
+    # acceptance bar: within 5%).
+    assert planned.achieved_rps >= 0.95 * reactive.achieved_rps, (
+        f"planned goodput ({planned.achieved_rps:.1f} req/s) fell more than "
+        f"5% below reactive ({reactive.achieved_rps:.1f} req/s)"
+    )
+    assert planned.p95_ms < 0.7 * reactive.p95_ms, (
+        f"planned p95 ({planned.p95_ms:.1f} ms) is not clearly below "
+        f"reactive ({reactive.p95_ms:.1f} ms)"
+    )
+
+    benchmark.extra_info["warm_hit_gain"] = round(
+        planned.warm_hit_rate - reactive.warm_hit_rate, 4
+    )
+    benchmark.extra_info["p95_ratio"] = round(planned.p95_ms / reactive.p95_ms, 3)
+    benchmark.extra_info["migrations"] = len(planned.migrations)

@@ -37,6 +37,7 @@ from repro.faas import (
     ActionSpec,
     ClosedLoopClient,
     Container,
+    ControlPlane,
     FaaSCluster,
     FaaSPlatform,
     Invocation,
@@ -45,7 +46,10 @@ from repro.faas import (
     SaturatingClient,
     TenantMix,
     TenantQuotas,
+    TenantSLO,
+    azure_diurnal_arrivals,
     azure_functions_arrivals,
+    load_azure_trace_csv,
 )
 from repro.runtime import FunctionProfile, Language, build_runtime
 from repro.workloads import (
@@ -84,7 +88,11 @@ __all__ = [
     "MultiActionSaturatingClient",
     "TenantMix",
     "TenantQuotas",
+    "TenantSLO",
+    "ControlPlane",
     "azure_functions_arrivals",
+    "azure_diurnal_arrivals",
+    "load_azure_trace_csv",
     "FunctionProfile",
     "Language",
     "build_runtime",

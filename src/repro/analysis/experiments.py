@@ -39,15 +39,19 @@ from repro.analysis.stats import OverheadSummary, relative_overhead_percent, sum
 from repro.baselines.registry import create_mechanism, mechanism_class
 from repro.config import SimulationConfig
 from repro.core.restore import RestoreBreakdown
+from repro.errors import PlatformError
 from repro.faas.action import ActionSpec
 from repro.faas.cluster import FaaSCluster
+from repro.faas.controlplane import TenantSLO
 from repro.faas.loadgen import (
     ClosedLoopClient,
     MultiActionSaturatingClient,
     OpenLoopClient,
     SaturatingClient,
     TenantMix,
+    azure_diurnal_arrivals,
     azure_functions_arrivals,
+    load_azure_trace_csv,
 )
 from repro.faas.metrics import LatencyStats
 from repro.faas.request import Invocation, InvocationStatus
@@ -859,6 +863,7 @@ def measure_latency_under_load(
     autoscale: bool = False,
     calibrate_warm_penalty: bool = False,
     arrivals: str = "poisson",
+    trace_file: Optional[str] = None,
     caller_for=None,
     seed: int = 20230501,
     **mechanism_options,
@@ -870,15 +875,23 @@ def measure_latency_under_load(
     below the offered load and queueing inflates the latency percentiles.
     ``action_names`` can force a deliberately skewed deployment (e.g. names
     whose home invokers collide, the hash-affinity worst case).
-    ``arrivals="azure"`` replaces the uniform Poisson action mix with the
-    heavy-tailed Azure-Functions-shaped trace of
+    ``arrivals`` selects the arrival process: ``"azure"`` replaces the
+    uniform Poisson action mix with the heavy-tailed
+    Azure-Functions-shaped trace of
     :func:`~repro.faas.loadgen.azure_functions_arrivals` at the same mean
-    rate.  The admission knobs (``admission_policy``, ``tenant_quota_rps``,
-    ``autoscale``, ``calibrate_warm_penalty``) map directly onto the
+    rate; ``"azure-diurnal"`` adds the diurnal cycle and correlated bursts
+    of :func:`~repro.faas.loadgen.azure_diurnal_arrivals`;
+    ``"azure-file"`` replays a published Azure Functions trace CSV
+    (``trace_file``, rescaled to the offered rate) via
+    :func:`~repro.faas.loadgen.load_azure_trace_csv`.  The admission knobs
+    (``admission_policy``, ``tenant_quota_rps``, ``autoscale``,
+    ``calibrate_warm_penalty``) map directly onto the
     :class:`~repro.config.SimulationConfig` fields of the same names.
     """
-    if arrivals not in ("poisson", "azure"):
+    if arrivals not in ("poisson", "azure", "azure-diurnal", "azure-file"):
         raise ValueError(f"unknown arrival process {arrivals!r}")
+    if arrivals == "azure-file" and trace_file is None:
+        raise ValueError("arrivals='azure-file' needs a trace_file path")
     profile = _profile_of(spec_or_profile)
     platform = FaaSCluster(
         SimulationConfig(
@@ -900,13 +913,30 @@ def measure_latency_under_load(
         platform, spec_or_profile, config, actions,
         action_names=action_names, **mechanism_options,
     )
-    if arrivals == "azure":
-        offsets, sequence = azure_functions_arrivals(
-            names,
-            duration_seconds=duration_seconds,
-            mean_rps=offered_rps,
-            rng=platform.rng_streams.stream("azure-trace"),
-        )
+    if arrivals != "poisson":
+        trace_rng = platform.rng_streams.stream("azure-trace")
+        if arrivals == "azure":
+            offsets, sequence = azure_functions_arrivals(
+                names,
+                duration_seconds=duration_seconds,
+                mean_rps=offered_rps,
+                rng=trace_rng,
+            )
+        elif arrivals == "azure-diurnal":
+            offsets, sequence = azure_diurnal_arrivals(
+                names,
+                duration_seconds=duration_seconds,
+                mean_rps=offered_rps,
+                rng=trace_rng,
+            )
+        else:
+            offsets, sequence = load_azure_trace_csv(
+                trace_file,
+                names,
+                duration_seconds=duration_seconds,
+                mean_rps=offered_rps,
+                rng=trace_rng,
+            )
         client = OpenLoopClient(
             platform,
             names,
@@ -1279,6 +1309,286 @@ def run_tenant_fairness(
             admission_policy="wfq", tenant_quota_rps=quota_rps,
         ),
     }
+
+
+# ---------------------------------------------------------------------------
+# SLO control — closed-loop quota tuning and cross-invoker capacity shifting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ControlScenario:
+    """One tenant-mix run under one knob regime (static or control-plane)."""
+
+    label: str
+    admission_policy: str
+    #: True when the SLO control plane was driving the knobs.
+    control: bool
+    aggregate_rps: float
+    tenants: Dict[str, TenantOutcome]
+    #: Control-loop counters (empty for static runs).
+    control_stats: Dict[str, object]
+
+    def outcome(self, tenant: str) -> TenantOutcome:
+        """The named tenant's outcome."""
+        return self.tenants[tenant]
+
+
+@dataclass(frozen=True)
+class CapacityPlanOutcome:
+    """One skewed-deployment run under one capacity-management regime."""
+
+    label: str
+    offered_rps: float
+    achieved_rps: float
+    goodput_fraction: float
+    warm_hit_rate: float
+    cold_starts: int
+    steals: int
+    #: Containers seeded proactively by the planner (0 for reactive runs).
+    prewarms: int
+    #: Idle containers the planner reclaimed early (0 for reactive runs).
+    drains: int
+    p95_ms: Optional[float]
+    #: Planner capacity movements, in tick order (empty for reactive runs).
+    migrations: Tuple = ()
+    control_stats: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SLOControlResult:
+    """Everything :func:`run_slo_control` measured."""
+
+    #: The p99 target declared for the polite tenant (ms), derived from its
+    #: solo entitlement run; ``None`` when the quota part was skipped.
+    polite_slo_p99_ms: Optional[float]
+    #: ``solo`` / ``static`` / ``controlled`` tenant-mix scenarios.
+    quota: Dict[str, ControlScenario]
+    #: ``reactive`` / ``planned`` skewed-deployment runs.
+    capacity: Dict[str, CapacityPlanOutcome]
+
+
+def run_slo_control(
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    config: str = "gh",
+    parts: Sequence[str] = ("quota", "capacity"),
+    # -- quota-tuning scenario (mirrors run_tenant_fairness's topology) --
+    invokers: int = 2,
+    cores: int = 2,
+    actions: int = 4,
+    polite_tenant: str = "polite",
+    aggressive_tenant: str = "aggressive",
+    polite_load_factor: float = 0.25,
+    aggressive_load_factor: float = 3.0,
+    max_queue_per_action: int = 16,
+    duration_seconds: float = 12.0,
+    warmup_seconds: float = 5.0,
+    slo_p99_factor: float = 1.5,
+    slo_min_goodput: float = 0.7,
+    # -- capacity-planning scenario (hash-affinity worst case) --
+    capacity_invokers: int = 4,
+    capacity_actions: int = 8,
+    capacity_load_factor: float = 0.5,
+    capacity_duration_seconds: float = 8.0,
+    capacity_warmup_seconds: float = 2.5,
+    seed: int = 20230501,
+) -> SLOControlResult:
+    """The control-plane experiment: closed loops vs hand-set (or no) knobs.
+
+    Two independent parts (select with ``parts``):
+
+    **Quota tuning** — the tenant-fairness contention scenario, but with
+    *no hand-set quotas anywhere*:
+
+    * ``"solo"`` — the polite tenant alone (its entitlement).  The
+      declared SLO is derived from this run: p99 target =
+      ``slo_p99_factor`` × the solo p99 (an operator promising a modest
+      multiple of uncontended latency), plus a ``slo_min_goodput`` floor.
+    * ``"static"`` — both tenants under the static defaults (caller-blind
+      FIFO, no quotas).  The aggressive burst collapses the polite
+      tenant — the degradation the ROADMAP item calls out.
+    * ``"controlled"`` — both tenants under WFQ with the control plane
+      on: the SLO monitor scores the polite tenant's windowed p99/goodput,
+      and the AIMD tuner cuts the aggressive tenant's admission rate and
+      boosts the polite tenant's fair-queue weight until the SLO holds,
+      then probes back up.  No quota number appears anywhere in the
+      configuration.
+
+    **Capacity planning** — the hash-affinity worst case (every action's
+    home collides on invoker 0) under moderate open-loop load, with work
+    stealing on:
+
+    * ``"reactive"`` — the per-invoker reactive autoscaler alone: peers
+      only gain capacity once deep backlogs trigger tail boot-steals.
+    * ``"planned"`` — the control plane's CapacityPlanner additionally
+      shifts pre-warmed capacity: backlogged actions get containers
+      seeded on idle peers ahead of the steals, under the global
+      container budget, so steals land warm instead of booting on the
+      critical path.
+    """
+    if spec is None:
+        spec = representative_benchmarks()[0]
+    unknown_parts = set(parts) - {"quota", "capacity"}
+    if unknown_parts:
+        raise ValueError(f"unknown run_slo_control parts: {sorted(unknown_parts)}")
+
+    polite_slo_p99_ms: Optional[float] = None
+    quota_scenarios: Dict[str, ControlScenario] = {}
+    if "quota" in parts:
+        capacity_rps = estimate_cluster_capacity_rps(
+            spec, invokers=invokers, cores=cores
+        )
+        polite_rps = capacity_rps * polite_load_factor
+        aggressive_rps = capacity_rps * aggressive_load_factor
+
+        def run_scenario(
+            label: str,
+            mix: TenantMix,
+            offered_rps: float,
+            *,
+            admission_policy: str,
+            control: bool,
+            tenant_slos: Optional[Dict[str, TenantSLO]] = None,
+        ) -> ControlScenario:
+            platform = FaaSCluster(
+                SimulationConfig(
+                    cores=cores,
+                    containers_per_action=1,
+                    invokers=invokers,
+                    scheduler_policy="warm-aware",
+                    max_containers_per_action=cores,
+                    max_queue_per_action=max_queue_per_action,
+                    admission_policy=admission_policy,
+                    control_plane=control,
+                    seed=seed,
+                ),
+                tenant_slos=tenant_slos,
+            )
+            names = _deploy_action_copies(
+                platform, spec, config, actions,
+                action_names=balanced_action_names(
+                    actions, invokers=invokers, prefix="tenant"
+                ),
+            )
+            client = OpenLoopClient(
+                platform,
+                names,
+                rate_rps=offered_rps,
+                duration_seconds=duration_seconds,
+                warmup_seconds=warmup_seconds,
+                caller_for=mix,
+            )
+            result = client.run()
+            return ControlScenario(
+                label=label,
+                admission_policy=admission_policy,
+                control=control,
+                aggregate_rps=result.achieved_rps,
+                tenants=_tenant_outcomes(
+                    client, mix, offered_rps, warmup_seconds, duration_seconds
+                ),
+                control_stats=platform.control_plane_stats(),
+            )
+
+        solo_mix = TenantMix({polite_tenant: 1.0})
+        contended_mix = TenantMix({
+            aggressive_tenant: aggressive_rps,
+            polite_tenant: polite_rps,
+        })
+        combined_rps = polite_rps + aggressive_rps
+        solo = run_scenario(
+            "solo", solo_mix, polite_rps,
+            admission_policy="fifo", control=False,
+        )
+        solo_p99 = solo.outcome(polite_tenant).p99_ms
+        if solo_p99 is None:
+            raise PlatformError(
+                "the solo entitlement run completed nothing in the window; "
+                "raise duration_seconds"
+            )
+        polite_slo_p99_ms = solo_p99 * slo_p99_factor
+        quota_scenarios = {
+            "solo": solo,
+            "static": run_scenario(
+                "static", contended_mix, combined_rps,
+                admission_policy="fifo", control=False,
+            ),
+            "controlled": run_scenario(
+                "controlled", contended_mix, combined_rps,
+                admission_policy="wfq", control=True,
+                tenant_slos={
+                    polite_tenant: TenantSLO(
+                        p99_ms=polite_slo_p99_ms,
+                        min_goodput=slo_min_goodput,
+                    )
+                },
+            ),
+        }
+
+    capacity_runs: Dict[str, CapacityPlanOutcome] = {}
+    if "capacity" in parts:
+        offered = (
+            estimate_cluster_capacity_rps(
+                spec, invokers=capacity_invokers, cores=cores
+            )
+            * capacity_load_factor
+        )
+        skewed_names = colliding_action_names(
+            capacity_actions, invokers=capacity_invokers
+        )
+
+        def run_capacity(label: str, control: bool) -> CapacityPlanOutcome:
+            platform = FaaSCluster(
+                SimulationConfig(
+                    cores=cores,
+                    containers_per_action=1,
+                    invokers=capacity_invokers,
+                    scheduler_policy="hash-affinity",
+                    work_stealing=True,
+                    max_containers_per_action=1,
+                    autoscale=True,
+                    control_plane=control,
+                    seed=seed,
+                )
+            )
+            names = _deploy_action_copies(
+                platform, spec, config, capacity_actions,
+                action_names=skewed_names,
+            )
+            client = OpenLoopClient(
+                platform,
+                names,
+                rate_rps=offered,
+                duration_seconds=capacity_duration_seconds,
+                warmup_seconds=capacity_warmup_seconds,
+            )
+            result = client.run()
+            return CapacityPlanOutcome(
+                label=label,
+                offered_rps=result.offered_rps,
+                achieved_rps=result.achieved_rps,
+                goodput_fraction=result.goodput_fraction,
+                warm_hit_rate=platform.warm_hit_rate,
+                cold_starts=sum(inv.cold_starts for inv in platform.invokers),
+                steals=platform.steals,
+                prewarms=sum(inv.prewarms for inv in platform.invokers),
+                drains=sum(inv.drains for inv in platform.invokers),
+                p95_ms=result.e2e.p95 * 1000 if result.e2e else None,
+                migrations=tuple(platform.migrations),
+                control_stats=platform.control_plane_stats(),
+            )
+
+        capacity_runs = {
+            "reactive": run_capacity("reactive", False),
+            "planned": run_capacity("planned", True),
+        }
+
+    return SLOControlResult(
+        polite_slo_p99_ms=polite_slo_p99_ms,
+        quota=quota_scenarios,
+        capacity=capacity_runs,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -10,8 +10,9 @@ Usage (after installing the package)::
                                         [--policies round-robin hash-affinity]
     python -m repro.cli latency-under-load [--benchmark NAME]
                                            [--load-factors 0.5 1.0 1.25]
-                                           [--arrivals poisson|azure]
+                                           [--arrivals poisson|azure|azure-diurnal|azure-file]
     python -m repro.cli tenant-fairness [--benchmark NAME] [--quota-factor 1.2]
+    python -m repro.cli slo-control [--benchmark NAME] [--parts quota capacity]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -32,6 +33,7 @@ from repro.analysis.experiments import (
     measure_latency_under_load,
     measure_restores,
     run_lifecycle,
+    run_slo_control,
     run_tenant_fairness,
 )
 from repro.analysis.tables import render_table
@@ -174,6 +176,7 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
                 duration_seconds=args.duration,
                 warmup_seconds=warmup,
                 arrivals=args.arrivals,
+                trace_file=args.trace_file,
             )
             rows.append([
                 point.strategy,
@@ -241,6 +244,91 @@ def cmd_tenant_fairness(args: argparse.Namespace) -> int:
             f"{args.actions} actions, quota factor {args.quota_factor})"
         ),
     ))
+    return 0
+
+
+def cmd_slo_control(args: argparse.Namespace) -> int:
+    """Closed-loop control plane vs static knobs: quotas and capacity."""
+    spec = _spec_from_args(args)
+    result = run_slo_control(
+        spec,
+        config=args.config,
+        parts=tuple(args.parts),
+        duration_seconds=args.duration,
+        warmup_seconds=min(args.warmup, args.duration / 2),
+        capacity_duration_seconds=args.duration,
+        capacity_warmup_seconds=min(args.warmup, args.duration / 2),
+    )
+    if result.quota:
+        rows = []
+        for label, scenario in result.quota.items():
+            for tenant, outcome in scenario.tenants.items():
+                rows.append([
+                    label,
+                    scenario.admission_policy
+                    + ("+control" if scenario.control else ""),
+                    tenant,
+                    f"{outcome.offered_rps:.1f}",
+                    f"{outcome.achieved_rps:.1f}",
+                    f"{outcome.goodput_fraction * 100:.0f}%",
+                    f"{outcome.p50_ms:.1f}" if outcome.p50_ms is not None else "-",
+                    f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+                    str(outcome.rejected),
+                    str(outcome.throttled),
+                ])
+        print(render_table(
+            ["scenario", "admission", "tenant", "offered (req/s)",
+             "achieved (req/s)", "goodput", "p50 (ms)", "p99 (ms)",
+             "rejected", "throttled"],
+            rows,
+            title=(
+                f"SLO quota control — {spec.qualified_name} under "
+                f"{args.config} (declared polite p99 target "
+                f"{result.polite_slo_p99_ms:.1f} ms, no hand-set quotas)"
+            ),
+        ))
+        controlled = result.quota["controlled"]
+        stats = controlled.control_stats
+        print(
+            f"control loop: {stats['ticks']} ticks, "
+            f"{stats['rate_cuts']} rate cuts, {stats['rate_raises']} raises, "
+            f"{stats['weight_boosts']} weight boosts"
+        )
+    if result.capacity:
+        rows = [
+            [
+                outcome.label,
+                f"{outcome.offered_rps:.1f}",
+                f"{outcome.achieved_rps:.1f}",
+                f"{outcome.goodput_fraction * 100:.0f}%",
+                f"{outcome.warm_hit_rate * 100:.1f}%",
+                str(outcome.cold_starts),
+                str(outcome.steals),
+                str(outcome.prewarms),
+                str(outcome.drains),
+                f"{outcome.p95_ms:.1f}" if outcome.p95_ms is not None else "-",
+            ]
+            for outcome in result.capacity.values()
+        ]
+        print(render_table(
+            ["regime", "offered (req/s)", "achieved (req/s)", "goodput",
+             "warm hits", "cold starts", "steals", "prewarms", "drains",
+             "p95 (ms)"],
+            rows,
+            title=(
+                f"Capacity planning — {spec.qualified_name} under "
+                f"{args.config} (hash-affinity colliding homes, "
+                "work stealing on)"
+            ),
+        ))
+        planned = result.capacity["planned"]
+        if planned.migrations:
+            shown = planned.migrations[: args.migrations]
+            print(f"planner migrations ({len(planned.migrations)} total):")
+            for decision in shown:
+                print(f"  {decision.describe()}")
+            if len(planned.migrations) > len(shown):
+                print(f"  ... {len(planned.migrations) - len(shown)} more")
     return 0
 
 
@@ -331,11 +419,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="virtual seconds excluded from the "
                                   "measurement window (default: duration/8, "
                                   "capped at 0.5s)")
-    load_parser.add_argument("--arrivals", choices=("poisson", "azure"),
+    load_parser.add_argument("--arrivals",
+                             choices=("poisson", "azure", "azure-diurnal",
+                                      "azure-file"),
                              default="poisson",
                              help="arrival process: uniform Poisson over the "
-                                  "actions, or the heavy-tailed Azure-Functions-"
-                                  "shaped per-action trace")
+                                  "actions; the heavy-tailed Azure-Functions-"
+                                  "shaped per-action trace; the same with "
+                                  "diurnal + correlated-burst temporal "
+                                  "modulation; or a published Azure Functions "
+                                  "trace CSV replayed via --trace-file")
+    load_parser.add_argument("--trace-file", default=None,
+                             help="path to an Azure Functions "
+                                  "invocations-per-function CSV "
+                                  "(required with --arrivals azure-file)")
     load_parser.set_defaults(func=cmd_latency_under_load)
 
     fairness_parser = subparsers.add_parser(
@@ -362,6 +459,29 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="virtual seconds excluded from the window "
                                       "(must cover the cold-start transient)")
     fairness_parser.set_defaults(func=cmd_tenant_fairness)
+
+    control_parser = subparsers.add_parser(
+        "slo-control",
+        help="closed-loop SLO control plane vs static knobs "
+             "(quota auto-tuning + cross-invoker capacity shifting)",
+    )
+    add_benchmark_args(control_parser, default="get-time")
+    control_parser.set_defaults(language="p")
+    control_parser.add_argument("--config", default="gh",
+                                help="isolation configuration (default: gh)")
+    control_parser.add_argument("--parts", nargs="+",
+                                choices=("quota", "capacity"),
+                                default=["quota", "capacity"],
+                                help="which closed loops to demonstrate")
+    control_parser.add_argument("--duration", type=float, default=12.0,
+                                help="virtual seconds of arrivals per scenario")
+    control_parser.add_argument("--warmup", type=float, default=5.0,
+                                help="virtual seconds excluded from the window "
+                                     "(must cover cold starts and control-loop "
+                                     "convergence)")
+    control_parser.add_argument("--migrations", type=int, default=8,
+                                help="planner migration decisions to print")
+    control_parser.set_defaults(func=cmd_slo_control)
     return parser
 
 

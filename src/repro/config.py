@@ -132,6 +132,22 @@ class SimulationConfig:
     #: time, instead of the fixed 32-load-unit constant (which remains the
     #: fallback for actions without a measurement).
     calibrate_warm_penalty: bool = False
+    #: Run the cluster control plane (see :mod:`repro.faas.controlplane`):
+    #: a periodic loop that scores tenants against their declared SLOs,
+    #: auto-tunes quota rates and fair-queue weights by AIMD, and shifts
+    #: pre-warmed container capacity between invokers under a global
+    #: budget.  Declared SLOs are passed to :class:`~repro.faas.cluster.
+    #: FaaSCluster` via its ``tenant_slos`` argument.
+    control_plane: bool = False
+    #: Virtual seconds between control-plane ticks.
+    control_interval_seconds: float = 0.25
+    #: Sliding window (virtual seconds) the SLO monitor scores tenants
+    #: over — recent behaviour, not run-lifetime averages.
+    slo_window_seconds: float = 2.0
+    #: Cluster-wide ceiling on containers (warm + boots in flight) the
+    #: capacity planner may maintain.  ``None`` defaults to twice the
+    #: cluster's total core count.
+    global_container_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -179,6 +195,15 @@ class SimulationConfig:
             raise ValueError("autoscale_queue_high must be >= 1")
         if self.autoscale_cooldown_seconds <= 0:
             raise ValueError("autoscale_cooldown_seconds must be positive")
+        if self.control_interval_seconds <= 0:
+            raise ValueError("control_interval_seconds must be positive")
+        if self.slo_window_seconds <= 0:
+            raise ValueError("slo_window_seconds must be positive")
+        if self.global_container_budget is not None:
+            if not self.control_plane:
+                raise ValueError("global_container_budget requires control_plane")
+            if self.global_container_budget < 1:
+                raise ValueError("global_container_budget must be >= 1")
 
     def with_cores(self, cores: int) -> "SimulationConfig":
         """Return a copy of this config with a different core count."""

@@ -26,6 +26,15 @@ from repro.faas.scheduler import (
     home_index,
 )
 from repro.faas.cluster import FaaSCluster
+from repro.faas.controlplane import (
+    CapacityPlanner,
+    ControlPlane,
+    MigrationDecision,
+    QuotaTuner,
+    SLOMonitor,
+    TenantSLO,
+    TenantSLOStatus,
+)
 from repro.faas.platform import FaaSPlatform
 from repro.faas.loadgen import (
     ClosedLoopClient,
@@ -34,7 +43,9 @@ from repro.faas.loadgen import (
     OpenLoopResult,
     SaturatingClient,
     TenantMix,
+    azure_diurnal_arrivals,
     azure_functions_arrivals,
+    load_azure_trace_csv,
 )
 from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
 
@@ -65,13 +76,22 @@ __all__ = [
     "home_index",
     "FaaSCluster",
     "FaaSPlatform",
+    "ControlPlane",
+    "CapacityPlanner",
+    "MigrationDecision",
+    "QuotaTuner",
+    "SLOMonitor",
+    "TenantSLO",
+    "TenantSLOStatus",
     "ClosedLoopClient",
     "OpenLoopClient",
     "OpenLoopResult",
     "SaturatingClient",
     "MultiActionSaturatingClient",
     "TenantMix",
+    "azure_diurnal_arrivals",
     "azure_functions_arrivals",
+    "load_azure_trace_csv",
     "LatencyStats",
     "MetricsCollector",
     "summarize",

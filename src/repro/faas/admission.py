@@ -216,6 +216,20 @@ class WeightedFairQueue(AdmissionQueue):
         """The tenant's configured weight (1.0 when unconfigured)."""
         return self._weights.get(tenant, 1.0)
 
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Adjust one tenant's weight at runtime (control-plane actuation).
+
+        Takes effect from the tenant's next service visit: deficit already
+        banked is kept (it is bounded by one service unit), so a weight
+        change never lets a tenant replay credit accrued under the old
+        weight.
+        """
+        if weight <= 0:
+            raise PlatformError(
+                f"WFQ weight for tenant {tenant!r} must be positive"
+            )
+        self._weights[tenant] = float(weight)
+
     def push(self, entry: QueueEntry) -> None:
         tenant = entry[0].caller
         if tenant not in self._subqueues:
@@ -354,6 +368,11 @@ class TenantQuotas:
         #: back after an idle spell.  Defaults to half a second's worth.
         self.burst = float(burst) if burst is not None else max(1.0, rate_rps / 2)
         self._rates: Dict[str, float] = {}
+        #: Per-tenant burst overrides (set alongside a rate override, so a
+        #: control loop tightening one tenant's rate also shrinks the bank
+        #: that tenant may draw down — a cut that left the default burst in
+        #: place would take seconds to bite).
+        self._bursts: Dict[str, float] = {}
         for tenant, rate in (per_tenant_rates or {}).items():
             self.set_rate(tenant, rate)
         #: Per-tenant bucket state: (tokens, last refill time).
@@ -361,20 +380,48 @@ class TenantQuotas:
         self.admitted = 0
         self.throttled = 0
 
-    def set_rate(self, tenant: str, rate_rps: float) -> None:
-        """Override the refill rate for one tenant."""
+    def set_rate(
+        self, tenant: str, rate_rps: float, *, burst: Optional[float] = None
+    ) -> None:
+        """Override the refill rate (and optionally burst) for one tenant.
+
+        Takes effect from the tenant's next admission check; a bank larger
+        than the new burst is clamped at the next refill, so lowering a
+        rate at runtime (control-plane actuation) bites within one request.
+        """
         if rate_rps <= 0:
             raise PlatformError("tenant quota rate must be positive")
+        if burst is not None and burst < 1:
+            raise PlatformError("tenant quota burst must allow at least one token")
         self._rates[tenant] = float(rate_rps)
+        if burst is not None:
+            self._bursts[tenant] = float(burst)
+
+    def clear_rate(self, tenant: str) -> None:
+        """Drop the tenant's rate/burst overrides (back to the defaults).
+
+        The control plane's "fully recovered" actuation: a tenant whose
+        cut has been walked all the way back must end up genuinely
+        unlimited again (under the permissive control-plane default),
+        not permanently capped at the demand it happened to show when
+        first cut.
+        """
+        self._rates.pop(tenant, None)
+        self._bursts.pop(tenant, None)
 
     def rate(self, tenant: str) -> float:
         """The tenant's refill rate (the default unless overridden)."""
         return self._rates.get(tenant, self.rate_rps)
 
+    def burst_for(self, tenant: str) -> float:
+        """The tenant's bucket capacity (the default unless overridden)."""
+        return self._bursts.get(tenant, self.burst)
+
     def admit(self, tenant: str, now: float) -> bool:
         """Spend one token for ``tenant`` if its bucket has one."""
-        tokens, last = self._buckets.get(tenant, (self.burst, now))
-        tokens = min(self.burst, tokens + (now - last) * self.rate(tenant))
+        burst = self.burst_for(tenant)
+        tokens, last = self._buckets.get(tenant, (burst, now))
+        tokens = min(burst, tokens + (now - last) * self.rate(tenant))
         if tokens >= 1.0:
             self._buckets[tenant] = (tokens - 1.0, now)
             self.admitted += 1
@@ -385,8 +432,9 @@ class TenantQuotas:
 
     def tokens(self, tenant: str, now: float) -> float:
         """The tenant's current bank (after refill), without spending."""
-        tokens, last = self._buckets.get(tenant, (self.burst, now))
-        return min(self.burst, tokens + (now - last) * self.rate(tenant))
+        burst = self.burst_for(tenant)
+        tokens, last = self._buckets.get(tenant, (burst, now))
+        return min(burst, tokens + (now - last) * self.rate(tenant))
 
 
 class ReactiveAutoscaler:

@@ -13,12 +13,13 @@ experiments use is the N=1 special case of this class.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.config import SimulationConfig
 from repro.errors import ActionNotFoundError, PlatformError
 from repro.faas.action import ActionSpec
 from repro.faas.admission import ReactiveAutoscaler, TenantQuotas
+from repro.faas.controlplane import ControlPlane, MigrationDecision, TenantSLO
 from repro.faas.container import Container
 from repro.faas.controller import Controller
 from repro.faas.invoker import Invoker
@@ -38,27 +39,41 @@ from repro.sim.rng import RngStreams
 class FaaSCluster:
     """An OpenWhisk-like cluster: controller + scheduler + N invokers."""
 
+    #: Effectively-unlimited default quota rate the control plane starts
+    #: from: tenants are unthrottled until the tuner assigns them a rate,
+    #: so "no hand-set quotas" stays literally true at t=0.
+    UNTUNED_QUOTA_RPS = 1e9
+
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         *,
         cost_model: Optional[CostModel] = None,
         verify_isolation: bool = False,
+        tenant_slos: Optional[Mapping[str, TenantSLO]] = None,
     ) -> None:
         self.config = config if config is not None else SimulationConfig()
+        if tenant_slos and not self.config.control_plane:
+            raise PlatformError(
+                "tenant_slos declare objectives for the control plane; "
+                "enable SimulationConfig.control_plane to enforce them"
+            )
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.rng_streams = RngStreams(self.config.seed)
         self.loop = EventLoop()
         #: One shared quota ledger: a tenant's token bucket is cluster-wide,
         #: not a property of whichever invoker the scheduler routed to.
-        self.quotas: Optional[TenantQuotas] = (
-            TenantQuotas(
+        #: With the control plane on, the ledger always exists (at the
+        #: permissive untuned default) so the quota tuner has a knob to
+        #: actuate without any hand-set rate.
+        self.quotas: Optional[TenantQuotas] = None
+        if self.config.tenant_quota_rps is not None:
+            self.quotas = TenantQuotas(
                 self.config.tenant_quota_rps,
                 burst=self.config.tenant_quota_burst,
             )
-            if self.config.tenant_quota_rps is not None
-            else None
-        )
+        elif self.config.control_plane:
+            self.quotas = TenantQuotas(self.UNTUNED_QUOTA_RPS)
         self.invokers: List[Invoker] = [
             Invoker(
                 self.loop,
@@ -102,6 +117,18 @@ class FaaSCluster:
         self.metrics = MetricsCollector()
         self.per_action_metrics: Dict[str, MetricsCollector] = {}
         self._specs: Dict[str, ActionSpec] = {}
+        #: The SLO-driven control loop (None unless ``config.control_plane``).
+        self.control_plane: Optional[ControlPlane] = (
+            ControlPlane(
+                self,
+                slos=tenant_slos,
+                interval_seconds=self.config.control_interval_seconds,
+                window_seconds=self.config.slo_window_seconds,
+                budget=self.config.global_container_budget,
+            )
+            if self.config.control_plane
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Deployment
@@ -195,6 +222,10 @@ class FaaSCluster:
             if on_complete is not None:
                 on_complete(finished)
 
+        if self.control_plane is not None:
+            # Work is flowing: make sure the control timer is armed (it
+            # stands down on its own once the cluster goes idle).
+            self.control_plane.ensure_running()
         self.controller.submit(invocation, record)
         return invocation
 
@@ -236,8 +267,35 @@ class FaaSCluster:
         return self.per_action_metrics[action]
 
     def cluster_stats(self) -> List[Dict[str, object]]:
-        """Per-invoker routing/dispatch/warmth counters."""
+        """Per-invoker routing/dispatch/warmth counters.
+
+        Rows include the control-plane actuation counters (``prewarmed``
+        deploy floors, planner ``prewarms``/``drains``) so capacity shifts
+        are visible next to the routing numbers they affect.
+        """
         return self.scheduler.stats()
+
+    def set_tenant_weight(self, tenant: str, weight: float) -> int:
+        """Set a tenant's WFQ weight on every fair queue, cluster-wide.
+
+        Returns the number of queues updated (0 under FIFO admission).
+        """
+        return sum(
+            invoker.set_tenant_weight(tenant, weight) for invoker in self.invokers
+        )
+
+    @property
+    def migrations(self) -> List[MigrationDecision]:
+        """Capacity movements the control plane's planner actuated."""
+        if self.control_plane is None:
+            return []
+        return self.control_plane.migrations
+
+    def control_plane_stats(self) -> Dict[str, object]:
+        """Control-loop counters (empty dict when the plane is disabled)."""
+        if self.control_plane is None:
+            return {}
+        return self.control_plane.stats()
 
     @property
     def warm_hit_rate(self) -> float:

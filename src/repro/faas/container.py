@@ -70,6 +70,11 @@ class Container:
         #: Virtual time at which the container last became idle; maintained
         #: by the invoker and used by its keep-alive eviction timer.
         self.idle_since = 0.0
+        #: Virtual time at which the container finished initialising and
+        #: joined its pool; maintained by the invoker.  A request submitted
+        #: *before* this instant waited on the boot (a cold start on its
+        #: path); one submitted after finds the container already warm.
+        self.ready_at = 0.0
         self.container_id = f"{spec.name}-c{next(_container_counter):04d}"
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)

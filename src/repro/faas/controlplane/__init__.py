@@ -1,0 +1,35 @@
+"""The cluster control plane: SLO-driven auto-tuning and capacity shifting.
+
+Three cooperating controllers close the loop the lower layers left open:
+
+* :class:`~repro.faas.controlplane.slo.SLOMonitor` — scores each tenant's
+  windowed latency/goodput against its declared
+  :class:`~repro.faas.controlplane.slo.TenantSLO`.
+* :class:`~repro.faas.controlplane.tuner.QuotaTuner` — AIMD on per-tenant
+  quota rates and fair-queue weights, replacing hand-set
+  ``tenant_quota_rps``.
+* :class:`~repro.faas.controlplane.planner.CapacityPlanner` — shifts
+  pre-warmed containers between invokers (seed underloaded peers, drain
+  idle pools) under a global container budget.
+
+:class:`~repro.faas.controlplane.loop.ControlPlane` runs them on a
+recurring simulation timer, wired up by
+:class:`~repro.faas.cluster.FaaSCluster` when
+``SimulationConfig.control_plane`` is enabled.
+"""
+
+from repro.faas.controlplane.loop import ControlPlane, IDLE_TICKS_TO_STOP
+from repro.faas.controlplane.planner import CapacityPlanner, MigrationDecision
+from repro.faas.controlplane.slo import SLOMonitor, TenantSLO, TenantSLOStatus
+from repro.faas.controlplane.tuner import QuotaTuner
+
+__all__ = [
+    "ControlPlane",
+    "IDLE_TICKS_TO_STOP",
+    "CapacityPlanner",
+    "MigrationDecision",
+    "SLOMonitor",
+    "TenantSLO",
+    "TenantSLOStatus",
+    "QuotaTuner",
+]

@@ -65,6 +65,7 @@ from repro.faas.admission import (
     AdmissionQueue,
     ReactiveAutoscaler,
     TenantQuotas,
+    WeightedFairQueue,
     create_admission_queue,
 )
 from repro.faas.container import Container
@@ -137,6 +138,14 @@ class InvokerSnapshot:
     boots_in_flight: Mapping[str, int]
     #: Further containers the invoker may still boot, per action.
     growth_headroom: Mapping[str, int]
+    #: Waiting invocations per action (only actions with at least one) —
+    #: the cluster-level demand signal a capacity planner aggregates.
+    queued_per_action: Mapping[str, int] = field(default_factory=dict)
+    #: Deploy-time pre-warmed containers per action (the eviction floor;
+    #: only actions with at least one).  Together with ``warm_total`` this
+    #: makes planner-seeded capacity observable: ``warm_total - prewarmed``
+    #: is the dynamic (migratable) part of each pool.
+    prewarmed: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def load(self) -> int:
@@ -220,18 +229,30 @@ class Invoker:
         #: Invocations refused because their tenant exhausted its quota.
         self.invocations_throttled = 0
         #: Dispatches served by an already-warm container (every dispatch
-        #: except the first request of a container booted on demand).
+        #: except the first request of a dynamically booted container whose
+        #: boot completed after the request was submitted — i.e. the boot
+        #: was on that request's critical path).
         self.warm_hits = 0
-        #: Containers cold-started on demand over the invoker's lifetime
+        #: Containers cold-started *on demand* over the invoker's lifetime
         #: (counted when the boot is requested; see ``boots_cancelled``).
+        #: Control-plane seeds boot off the demand path and are counted in
+        #: ``prewarms`` instead, so this counter keeps meaning "boots that
+        #: queued work was waiting for".
         self.cold_starts = 0
         #: Backlogged boots cancelled before they reached a core (their
         #: demand disappeared, e.g. the queued work was stolen away).
         self.boots_cancelled = 0
         #: Core-seconds spent booting containers (the cold-start CPU bill).
         self.boot_core_seconds = 0.0
-        #: Dynamic containers reclaimed by keep-alive eviction.
+        #: Dynamic containers reclaimed by keep-alive eviction (or drained
+        #: early by the control plane; see ``drains``).
         self.evictions = 0
+        #: Containers booted proactively by a control plane (:meth:`prewarm`)
+        #: rather than in response to queued demand.
+        self.prewarms = 0
+        #: Idle dynamic containers reclaimed early by :meth:`drain` (a
+        #: subset of ``evictions``).
+        self.drains = 0
         #: Invocations this invoker pulled from peers (work stealing).
         self.steals = 0
         #: Invocations peers pulled out of this invoker's queues.
@@ -414,9 +435,18 @@ class Invoker:
         invocation.status = InvocationStatus.RUNNING
         self.invocations_dispatched += 1
         # A dispatch is a cold start only when it is the first request of a
-        # container booted on demand; everything else reuses a warm
-        # container, whether or not the invocation queued first.
-        if not (container.dynamic and container.requests_served == 0):
+        # dynamically booted container whose boot finished *after* the
+        # request was submitted — the request existed while the container
+        # was still initialising, so the boot sat on its critical path.
+        # The first request of a container that was pre-warmed ahead of it
+        # (deploy-time pools, or a control-plane seed that completed before
+        # the request arrived) is a warm hit: that is precisely the service
+        # pre-warming buys.
+        if not (
+            container.dynamic
+            and container.requests_served == 0
+            and container.ready_at > invocation.submitted_at
+        ):
             self.warm_hits += 1
 
         execution = container.execute(invocation, verify=self.verify_isolation)
@@ -584,7 +614,98 @@ class Invoker:
             return True
         return self.queued_invocations(action) < self.max_queue_per_action
 
-    def _cold_start(self, pool: _ActionPool) -> None:
+    # ------------------------------------------------------------------
+    # Control-plane actuation: pre-warm, drain, runtime weights
+    # ------------------------------------------------------------------
+
+    def prewarm(self, action: str) -> bool:
+        """Boot one container for ``action`` proactively (capacity seeding).
+
+        Unlike the demand-matched growth of :meth:`submit`, a pre-warm is
+        a *planning* decision: a cluster control plane seeds warm capacity
+        on an invoker **before** traffic (or a work steal) lands there, so
+        the boot happens off the critical path of any request.  The
+        container is dynamic — if the planned demand never materialises,
+        keep-alive eviction reclaims it like any other on-demand boot.
+
+        Returns ``False`` (and boots nothing) when the action has no
+        growth headroom left on this invoker.
+        """
+        pool = self._require_pool(action)
+        if not self._can_cold_start(pool):
+            return False
+        self.prewarms += 1
+        self._cold_start(pool, on_demand=False)
+        return True
+
+    def drain(
+        self, action: str, count: int = 1, *, min_idle_seconds: float = 0.0
+    ) -> int:
+        """Reclaim up to ``count`` idle *dynamic* containers immediately.
+
+        The control plane's counterpart to keep-alive eviction: when
+        capacity is needed elsewhere (a global container budget, a peer
+        with real backlog), idle dynamic containers are released now
+        instead of after the keep-alive expires.  Only containers that are
+        in the idle pool are eligible — a container serving a request, or
+        unavailable while its mechanism restores, is never touched — and
+        pre-warmed containers (the deployed floor) are never drained.
+        Nothing is drained while the action has queued work: those idle
+        containers are about to be used.  ``min_idle_seconds`` further
+        restricts eligibility to containers idle at least that long, so a
+        planner reclaims genuinely cold capacity rather than churning a
+        container that served a request milliseconds ago.
+
+        Returns how many containers were reclaimed.
+        """
+        if count < 1:
+            raise PlatformError("drain count must be >= 1")
+        if min_idle_seconds < 0:
+            raise PlatformError("min_idle_seconds must be >= 0")
+        pool = self._require_pool(action)
+        if pool.queue:
+            return 0
+        now = self.loop.now
+        drained = 0
+        while drained < count:
+            victim = next(
+                (
+                    c
+                    for c in pool.idle
+                    if c.dynamic and now - c.idle_since >= min_idle_seconds
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            pool.idle.remove(victim)
+            pool.containers.remove(victim)
+            victim.shutdown()
+            self.evictions += 1
+            self.drains += 1
+            drained += 1
+        return drained
+
+    def set_tenant_weight(self, tenant: str, weight: float) -> int:
+        """Set ``tenant``'s WFQ weight on every fair queue of this invoker.
+
+        Returns the number of queues updated (0 when the admission policy
+        has no per-tenant weights, e.g. FIFO — the actuation is a no-op
+        there rather than an error, so a control plane can drive mixed
+        deployments).
+        """
+        updated = 0
+        for pool in self._pools.values():
+            if isinstance(pool.queue, WeightedFairQueue):
+                pool.queue.set_weight(tenant, weight)
+                updated += 1
+        return updated
+
+    def idle_pool(self, action: str) -> List[Container]:
+        """The action's currently idle containers (dispatch order)."""
+        return list(self._require_pool(action).idle)
+
+    def _cold_start(self, pool: _ActionPool, *, on_demand: bool = True) -> None:
         """Request one more container; the boot runs on a core when one frees.
 
         A boot is CPU work: building the environment, booting the runtime,
@@ -592,10 +713,14 @@ class Invoker:
         invoker core for ``init.total_seconds``, serialised against running
         containers and against other boots.  Requests therefore cannot hide
         cold starts — a storm of boots visibly eats the invoker's capacity.
+        ``on_demand=False`` marks a control-plane seed: the boot is
+        identical, but it is accounted under ``prewarms`` rather than
+        ``cold_starts`` (no queued work is waiting for it).
         """
         container = self._build_container(pool.spec, dynamic=True)
         pool.cold_starting += 1
-        self.cold_starts += 1
+        if on_demand:
+            self.cold_starts += 1
         self._boot_backlog.append((pool, container))
         self._start_boots()
 
@@ -613,6 +738,7 @@ class Invoker:
                 self._booting -= 1
                 pool.cold_starting -= 1
                 container.idle_since = self.loop.now
+                container.ready_at = self.loop.now
                 pool.containers.append(container)
                 pool.idle.append(container)
                 self._ensure_eviction_timer()
@@ -759,6 +885,8 @@ class Invoker:
         warm_total: Dict[str, int] = {}
         boots: Dict[str, int] = {}
         headroom: Dict[str, int] = {}
+        queued_per_action: Dict[str, int] = {}
+        prewarmed: Dict[str, int] = {}
         for name, pool in self._pools.items():
             if pool.idle:
                 idle_warm[name] = len(pool.idle)
@@ -766,6 +894,10 @@ class Invoker:
                 warm_total[name] = len(pool.containers)
             if pool.cold_starting:
                 boots[name] = pool.cold_starting
+            if pool.queue:
+                queued_per_action[name] = len(pool.queue)
+            if pool.prewarmed:
+                prewarmed[name] = pool.prewarmed
             room = (
                 self._growth_ceiling(pool) - len(pool.containers) - pool.cold_starting
             )
@@ -784,6 +916,8 @@ class Invoker:
             warm_total=warm_total,
             boots_in_flight=boots,
             growth_headroom=headroom,
+            queued_per_action=queued_per_action,
+            prewarmed=prewarmed,
         )
 
     def stats(self) -> Dict[str, object]:
@@ -804,6 +938,9 @@ class Invoker:
             "steals": self.steals,
             "stolen_away": self.stolen_away,
             "containers": sum(len(p.containers) for p in self._pools.values()),
+            "prewarmed": sum(p.prewarmed for p in self._pools.values()),
+            "prewarms": self.prewarms,
+            "drains": self.drains,
         }
 
     def _require_pool(self, action: str) -> _ActionPool:

@@ -26,6 +26,9 @@ All clients drive any deployment that exposes the platform surface
 
 from __future__ import annotations
 
+import bisect
+import csv
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -143,6 +146,230 @@ def azure_functions_arrivals(
     if not arrivals:
         raise PlatformError(
             "the requested rate and duration produced no arrivals; "
+            "raise mean_rps or duration_seconds"
+        )
+    arrivals.sort(key=lambda pair: pair[0])
+    return [offset for offset, _ in arrivals], [action for _, action in arrivals]
+
+
+def azure_diurnal_arrivals(
+    actions: Sequence[str],
+    *,
+    duration_seconds: float,
+    mean_rps: float,
+    rng: random.Random,
+    skew: float = 1.5,
+    period_seconds: Optional[float] = None,
+    amplitude: float = 0.6,
+    burst_multiplier: float = 4.0,
+    burst_fraction: float = 0.1,
+    burst_dwell_seconds: Optional[float] = None,
+) -> Tuple[List[float], List[str]]:
+    """Azure-shaped arrivals with the *temporal* production components.
+
+    :func:`azure_functions_arrivals` reproduces the published traces'
+    heavy-tailed per-function rate mix but drives it with a stationary
+    Poisson process.  The traces' other two signatures are temporal:
+
+    * a **diurnal cycle** — load swings smoothly around the mean over the
+      day (here one sinusoidal cycle per ``period_seconds``, default one
+      cycle over the run, peak-to-trough set by ``amplitude``), and
+    * **bursts** — short windows in which the whole workload's rate jumps
+      (here a renewal on/off process: exponential quiet gaps, exponential
+      burst dwells of mean ``burst_dwell_seconds``, rate multiplied by
+      ``burst_multiplier`` while a burst is on, with bursts covering
+      ``burst_fraction`` of the timeline in expectation).  Bursts are
+      *correlated across actions* — a traffic spike hits the platform,
+      not one function — which is exactly what makes them hard: every
+      queue deepens at once.
+
+    The base rate is normalised so the run's expected mean stays
+    ``mean_rps``; sampling is non-homogeneous Poisson via thinning, drawn
+    only from ``rng`` (identical inputs reproduce identical traces).
+    Returns ``(offsets, action_sequence)`` for
+    :class:`OpenLoopClient`'s trace mode, like the stationary generator.
+    """
+    if not actions:
+        raise PlatformError("an arrival trace needs at least one action")
+    if duration_seconds <= 0:
+        raise PlatformError("duration must be positive")
+    if mean_rps <= 0:
+        raise PlatformError("mean_rps must be positive")
+    if skew < 0:
+        raise PlatformError("skew must be >= 0")
+    if not 0.0 <= amplitude < 1.0:
+        raise PlatformError("diurnal amplitude must be in [0, 1)")
+    if burst_multiplier < 1.0:
+        raise PlatformError("burst_multiplier must be >= 1")
+    if not 0.0 <= burst_fraction < 1.0:
+        raise PlatformError("burst_fraction must be in [0, 1)")
+    period = period_seconds if period_seconds is not None else duration_seconds
+    if period <= 0:
+        raise PlatformError("diurnal period must be positive")
+    dwell = (
+        burst_dwell_seconds
+        if burst_dwell_seconds is not None
+        else duration_seconds / 20
+    )
+    if dwell <= 0:
+        raise PlatformError("burst dwell must be positive")
+
+    # One burst schedule for the whole workload (correlated bursts): the
+    # timeline alternates exponential off gaps (mean sized so bursts cover
+    # burst_fraction of time) and exponential on dwells.
+    burst_edges: List[float] = []  # even index = burst start, odd = burst end
+    if burst_fraction > 0 and burst_multiplier > 1.0:
+        off_mean = dwell * (1.0 - burst_fraction) / burst_fraction
+        t = rng.expovariate(1.0 / off_mean)
+        while t < duration_seconds:
+            end = t + rng.expovariate(1.0 / dwell)
+            burst_edges.append(t)
+            burst_edges.append(min(end, duration_seconds))
+            t = end + rng.expovariate(1.0 / off_mean)
+
+    def in_burst(t: float) -> bool:
+        # Odd insertion index = inside a [start, end) burst window.
+        return bisect.bisect_right(burst_edges, t) % 2 == 1
+
+    expected_multiplier = 1.0 + (burst_multiplier - 1.0) * burst_fraction
+    base_mean = mean_rps / expected_multiplier
+
+    def rate_factor(t: float) -> float:
+        diurnal = 1.0 + amplitude * math.sin(2.0 * math.pi * t / period)
+        return diurnal * (burst_multiplier if in_burst(t) else 1.0)
+
+    # The thinning envelope only needs to dominate rates that can actually
+    # occur: without any realised burst window the factor never exceeds
+    # 1 + amplitude, and paying the burst multiplier there would reject
+    # (multiplier - 1)/multiplier of all candidate draws for nothing.
+    peak_factor = (1.0 + amplitude) * (burst_multiplier if burst_edges else 1.0)
+    weights = [1.0 / (index + 1) ** skew for index in range(len(actions))]
+    total_weight = sum(weights)
+    arrivals: List[Tuple[float, str]] = []
+    for action, weight in zip(actions, weights):
+        base_rate = base_mean * weight / total_weight
+        peak_rate = base_rate * peak_factor
+        offset = rng.expovariate(peak_rate)
+        while offset <= duration_seconds:
+            # Thinning: a candidate drawn at the peak rate survives with
+            # probability rate(t)/peak, yielding the non-homogeneous
+            # process exactly.
+            if rng.random() < rate_factor(offset) / peak_factor:
+                arrivals.append((offset, action))
+            offset += rng.expovariate(peak_rate)
+    if not arrivals:
+        raise PlatformError(
+            "the requested rate and duration produced no arrivals; "
+            "raise mean_rps or duration_seconds"
+        )
+    arrivals.sort(key=lambda pair: pair[0])
+    return [offset for offset, _ in arrivals], [action for _, action in arrivals]
+
+
+def load_azure_trace_csv(
+    path: str,
+    actions: Sequence[str],
+    *,
+    duration_seconds: float,
+    rng: random.Random,
+    mean_rps: Optional[float] = None,
+) -> Tuple[List[float], List[str]]:
+    """Load a published Azure Functions invocation-count trace into arrivals.
+
+    Understands the format of the released dataset's
+    ``invocations_per_function_md.anon.dXX.csv`` files: identity columns
+    (``HashOwner``, ``HashApp``, ``HashFunction``, ``Trigger`` — any
+    column whose header is not an integer) followed by one column per
+    minute of the day (headers ``"1"``..``"1440"``) holding that
+    function's invocation count in that minute.
+
+    The loader keeps the top ``len(actions)`` functions by total
+    invocations (the deployed actions stand in for them, heaviest first —
+    the same heavy-tailed shape the synthetic generator mimics), compresses
+    the trace's timeline onto ``duration_seconds`` of virtual time, and
+    scatters each minute's invocations uniformly within that minute's
+    compressed window using ``rng``.  ``mean_rps`` rescales the totals to
+    a target aggregate rate (fractional expectations are resolved by a
+    Bernoulli draw, so the expected rate is exact); ``None`` replays the
+    selected functions' absolute counts.
+
+    Returns ``(offsets, action_sequence)`` for :class:`OpenLoopClient`'s
+    trace mode.  Identical file, arguments, and ``rng`` state reproduce
+    identical traces.
+    """
+    if not actions:
+        raise PlatformError("an arrival trace needs at least one action")
+    if duration_seconds <= 0:
+        raise PlatformError("duration must be positive")
+    if mean_rps is not None and mean_rps <= 0:
+        raise PlatformError("mean_rps must be positive (or None to replay counts)")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise PlatformError(f"Azure trace {path!r} is empty") from None
+        minute_columns = [
+            index for index, name in enumerate(header) if name.strip().isdigit()
+        ]
+        if not minute_columns:
+            raise PlatformError(
+                f"Azure trace {path!r} has no per-minute count columns "
+                "(expected integer column headers like '1'..'1440')"
+            )
+        id_column = None
+        for index, name in enumerate(header):
+            if name.strip() == "HashFunction":
+                id_column = index
+                break
+        rows: List[Tuple[str, List[int]]] = []
+        for row_index, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                counts = [int(float(row[index])) for index in minute_columns]
+            except (ValueError, IndexError):
+                raise PlatformError(
+                    f"Azure trace {path!r} row {row_index + 2}: "
+                    "per-minute counts must be numeric"
+                ) from None
+            identity = (
+                row[id_column] if id_column is not None else f"row-{row_index}"
+            )
+            rows.append((identity, counts))
+    if not rows:
+        raise PlatformError(f"Azure trace {path!r} has no function rows")
+    # Heaviest functions first; ties break on first appearance so the
+    # mapping onto actions is stable.
+    order = sorted(
+        range(len(rows)), key=lambda i: (-sum(rows[i][1]), i)
+    )[: len(actions)]
+    selected = [rows[i] for i in order]
+    grand_total = sum(sum(counts) for _, counts in selected)
+    if grand_total == 0:
+        raise PlatformError(
+            f"Azure trace {path!r}: the selected functions have no invocations"
+        )
+    scale = (
+        mean_rps * duration_seconds / grand_total if mean_rps is not None else 1.0
+    )
+    minutes = len(minute_columns)
+    window = duration_seconds / minutes
+    arrivals: List[Tuple[float, str]] = []
+    for action, (_identity, counts) in zip(actions, selected):
+        for minute, count in enumerate(counts):
+            if count == 0:
+                continue
+            expected = count * scale
+            emit = int(expected)
+            if rng.random() < expected - emit:
+                emit += 1
+            start = minute * window
+            for _ in range(emit):
+                arrivals.append((start + rng.random() * window, action))
+    if not arrivals:
+        raise PlatformError(
+            f"Azure trace {path!r}: rescaling produced no arrivals; "
             "raise mean_rps or duration_seconds"
         )
     arrivals.sort(key=lambda pair: pair[0])

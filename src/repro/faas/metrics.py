@@ -9,6 +9,7 @@ statistics the tables and figures need.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -171,10 +172,66 @@ class MetricsCollector:
         total = self.num_recorded
         return len(self._throttled) / total if total else 0.0
 
-    def by_caller(self) -> Dict[str, "MetricsCollector"]:
-        """Split the recorded invocations into per-tenant collectors."""
-        per_tenant: Dict[str, MetricsCollector] = {}
+    def window(
+        self, start: float, end: Optional[float] = None
+    ) -> "MetricsCollector":
+        """A collector restricted to invocations that *finished* in a window.
+
+        ``start``/``end`` bound the invocation's ``completed_at`` timestamp
+        (the instant a completion, rejection, or throttle was recorded);
+        ``end=None`` leaves the window open on the right.  This is the
+        surface a control loop consumes: recent behaviour, not run-lifetime
+        aggregates — a tenant that misbehaved a minute ago but is currently
+        within its SLO must not look violating forever.
+
+        Each bucket is appended at recording time, and recordings happen
+        at the invocation's finish instant inside the monotone event loop,
+        so the buckets are sorted by ``completed_at`` — the window
+        boundaries are found by binary search, costing O(log run + window)
+        per call rather than O(run).  A control loop ticking every quarter
+        of a virtual second therefore stays linear in the run.
+        """
+        clipped = MetricsCollector()
+
+        def finished_at(invocation: Invocation) -> float:
+            return invocation.completed_at
+
         for bucket in (self._completed, self._failed, self._rejected, self._throttled):
+            low = bisect.bisect_left(bucket, start, key=finished_at)
+            high = (
+                bisect.bisect_right(bucket, end, key=finished_at)
+                if end is not None
+                else len(bucket)
+            )
+            for invocation in bucket[low:high]:
+                clipped.record(invocation)
+        return clipped
+
+    def by_caller(
+        self,
+        *,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Dict[str, "MetricsCollector"]:
+        """Split the recorded invocations into per-tenant collectors.
+
+        ``since``/``until`` restrict the split to invocations that finished
+        inside the window (see :meth:`window`), so windowed per-tenant
+        percentiles come from recent samples rather than the whole run.
+        """
+        windowed = since is not None or until is not None
+        source = (
+            self.window(since if since is not None else float("-inf"), until)
+            if windowed
+            else self
+        )
+        per_tenant: Dict[str, MetricsCollector] = {}
+        for bucket in (
+            source._completed,
+            source._failed,
+            source._rejected,
+            source._throttled,
+        ):
             for invocation in bucket:
                 collector = per_tenant.setdefault(invocation.caller, MetricsCollector())
                 collector.record(invocation)

@@ -26,6 +26,7 @@ from repro.analysis.experiments import (
     run_restoration_comparison,
     run_scaling,
     run_skip_rollback_ablation,
+    run_slo_control,
     run_throughput_suite,
     run_tracking_ablation,
 )
@@ -176,6 +177,52 @@ class TestSuiteDrivers:
         assert len(names) == len(set(names)) == 5
         from repro.faas.scheduler import home_index
         assert {home_index(name, 4) for name in names} == {2}
+
+    def test_slo_control_quota_loop_acts_without_configured_quotas(self):
+        spec = find_benchmark("get-time", "p")
+        result = run_slo_control(
+            spec, parts=("quota",),
+            duration_seconds=6.0, warmup_seconds=3.0,
+        )
+        assert set(result.quota) == {"solo", "static", "controlled"}
+        assert result.capacity == {}
+        assert result.polite_slo_p99_ms is not None
+        controlled = result.quota["controlled"]
+        # The loop ran and actuated knobs nobody configured by hand.
+        assert controlled.control
+        assert controlled.control_stats["ticks"] > 0
+        assert controlled.control_stats["rate_cuts"] >= 1
+        assert controlled.outcome("aggressive").throttled > 0
+        # Qualitative shape: the controlled polite tenant clearly beats
+        # its static-knob self on goodput.
+        static_polite = result.quota["static"].outcome("polite")
+        controlled_polite = controlled.outcome("polite")
+        assert controlled_polite.achieved_rps > static_polite.achieved_rps
+
+    def test_slo_control_capacity_loop_migrates_under_budget(self):
+        spec = find_benchmark("md2html", "p")
+        result = run_slo_control(
+            spec, parts=("capacity",),
+            capacity_duration_seconds=4.0, capacity_warmup_seconds=1.0,
+        )
+        assert result.quota == {}
+        assert set(result.capacity) == {"reactive", "planned"}
+        reactive = result.capacity["reactive"]
+        planned = result.capacity["planned"]
+        assert reactive.prewarms == 0 and reactive.migrations == ()
+        assert planned.prewarms > 0
+        assert planned.migrations
+        budget = planned.control_stats["budget"]
+        # The planner's bookkeeping: prewarm decisions are observable and
+        # bounded by the global budget.
+        prewarm_targets = [
+            decision.target for decision in planned.migrations
+            if decision.kind == "prewarm"
+        ]
+        assert prewarm_targets and all(
+            target != "invoker-0" for target in prewarm_targets
+        )
+        assert planned.control_stats["prewarms"] <= budget
 
 
 class TestAblations:

@@ -604,6 +604,178 @@ class TestTenantMixAndAzureTrace:
             )
 
 
+class TestAzureDiurnalArrivals:
+    def test_diurnal_cycle_concentrates_arrivals_at_the_peak(self):
+        import random
+
+        from repro.faas.loadgen import azure_diurnal_arrivals
+
+        offsets, sequence = azure_diurnal_arrivals(
+            [f"fn-{i}" for i in range(4)],
+            duration_seconds=40.0,
+            mean_rps=60.0,
+            rng=random.Random(11),
+            amplitude=0.8,
+            burst_fraction=0.0,  # isolate the diurnal component
+        )
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset <= 40.0 for offset in offsets)
+        # One sinusoidal cycle over the run: the first half (rising to the
+        # peak at t=10) must clearly out-arrive the second half (trough at
+        # t=30).
+        first_half = sum(1 for offset in offsets if offset < 20.0)
+        second_half = len(offsets) - first_half
+        assert first_half > 1.5 * second_half
+        # The per-action mix keeps the heavy-tailed Azure shape.
+        counts = [sequence.count(f"fn-{i}") for i in range(4)]
+        assert counts[0] > 2 * counts[-1]
+
+    def test_bursts_raise_the_local_rate(self):
+        import random
+
+        from repro.faas.loadgen import azure_diurnal_arrivals
+
+        offsets, _ = azure_diurnal_arrivals(
+            ["a"],
+            duration_seconds=60.0,
+            mean_rps=40.0,
+            rng=random.Random(5),
+            amplitude=0.0,  # isolate the burst component
+            burst_multiplier=8.0,
+            burst_fraction=0.15,
+            burst_dwell_seconds=2.0,
+        )
+        # With rate jumps of 8x covering ~15% of the timeline, the busiest
+        # second must far exceed the quietest stretch: compare the top
+        # per-second arrival count against the mean.
+        per_second = [0] * 60
+        for offset in offsets:
+            per_second[min(59, int(offset))] += 1
+        mean = len(offsets) / 60.0
+        assert max(per_second) > 3 * mean
+
+    def test_determinism_and_validation(self):
+        import random
+
+        from repro.faas.loadgen import azure_diurnal_arrivals
+
+        args = dict(duration_seconds=10.0, mean_rps=30.0)
+        first = azure_diurnal_arrivals(["a", "b"], rng=random.Random(9), **args)
+        second = azure_diurnal_arrivals(["a", "b"], rng=random.Random(9), **args)
+        assert first == second
+        with pytest.raises(PlatformError):
+            azure_diurnal_arrivals(
+                ["a"], duration_seconds=1.0, mean_rps=1.0,
+                rng=random.Random(1), amplitude=1.0,
+            )
+        with pytest.raises(PlatformError):
+            azure_diurnal_arrivals(
+                ["a"], duration_seconds=1.0, mean_rps=1.0,
+                rng=random.Random(1), burst_multiplier=0.5,
+            )
+        with pytest.raises(PlatformError):
+            azure_diurnal_arrivals(
+                ["a"], duration_seconds=1.0, mean_rps=1.0,
+                rng=random.Random(1), burst_fraction=1.0,
+            )
+
+
+class TestAzureTraceCsvLoader:
+    HEADER = "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4,5\n"
+
+    def _write(self, tmp_path, body: str) -> str:
+        path = tmp_path / "trace.csv"
+        path.write_text(self.HEADER + body)
+        return str(path)
+
+    def test_loads_top_functions_heaviest_first(self, tmp_path):
+        import random
+
+        from repro.faas.loadgen import load_azure_trace_csv
+
+        path = self._write(
+            tmp_path,
+            "o,a,f-light,http,1,0,2,0,0\n"
+            "o,a,f-heavy,http,10,20,5,0,1\n",
+        )
+        offsets, sequence = load_azure_trace_csv(
+            path, ["first", "second"], duration_seconds=10.0,
+            rng=random.Random(3),
+        )
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset <= 10.0 for offset in offsets)
+        # Replay mode: absolute counts survive, and the heaviest function
+        # maps onto the first action.
+        assert sequence.count("first") == 36
+        assert sequence.count("second") == 3
+        # Minute 2's (compressed) window holds f-heavy's 20 arrivals:
+        # minutes compress onto 2-second windows of the 10s run.
+        in_second_window = [
+            o for o, action in zip(offsets, sequence)
+            if action == "first" and 2.0 <= o < 4.0
+        ]
+        assert len(in_second_window) == 20
+
+    def test_mean_rps_rescales_the_totals(self, tmp_path):
+        import random
+
+        from repro.faas.loadgen import load_azure_trace_csv
+
+        path = self._write(tmp_path, "o,a,f,http,100,100,100,100,100\n")
+        offsets, _ = load_azure_trace_csv(
+            path, ["x"], duration_seconds=10.0,
+            rng=random.Random(3), mean_rps=5.0,
+        )
+        # Expected 50 arrivals (5 rps x 10 s); Bernoulli rounding keeps
+        # the expectation exact, so the draw lands very close.
+        assert 40 <= len(offsets) <= 60
+
+    def test_determinism(self, tmp_path):
+        import random
+
+        from repro.faas.loadgen import load_azure_trace_csv
+
+        path = self._write(tmp_path, "o,a,f,http,3,1,4,1,5\n")
+        first = load_azure_trace_csv(
+            path, ["x"], duration_seconds=5.0, rng=random.Random(21)
+        )
+        second = load_azure_trace_csv(
+            path, ["x"], duration_seconds=5.0, rng=random.Random(21)
+        )
+        assert first == second
+
+    def test_validation(self, tmp_path):
+        import random
+
+        from repro.faas.loadgen import load_azure_trace_csv
+
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(PlatformError):
+            load_azure_trace_csv(
+                str(empty), ["x"], duration_seconds=1.0, rng=random.Random(1)
+            )
+        no_minutes = tmp_path / "nomin.csv"
+        no_minutes.write_text("HashFunction,Trigger\nf,http\n")
+        with pytest.raises(PlatformError):
+            load_azure_trace_csv(
+                str(no_minutes), ["x"], duration_seconds=1.0,
+                rng=random.Random(1),
+            )
+        garbage = tmp_path / "garbage.csv"
+        garbage.write_text(self.HEADER + "o,a,f,http,1,2,three,4,5\n")
+        with pytest.raises(PlatformError):
+            load_azure_trace_csv(
+                str(garbage), ["x"], duration_seconds=1.0, rng=random.Random(1)
+            )
+        zeros = tmp_path / "zeros.csv"
+        zeros.write_text(self.HEADER + "o,a,f,http,0,0,0,0,0\n")
+        with pytest.raises(PlatformError):
+            load_azure_trace_csv(
+                str(zeros), ["x"], duration_seconds=1.0, rng=random.Random(1)
+            )
+
+
 class TestConfigValidation:
     def test_admission_knobs(self):
         with pytest.raises(ValueError):

@@ -70,6 +70,51 @@ class TestCli:
         out = capsys.readouterr().out
         assert "azure arrivals" in out
 
+    def test_latency_under_load_azure_diurnal_arrivals(self, capsys):
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "2.0",
+            "--arrivals", "azure-diurnal",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "azure-diurnal arrivals" in out
+
+    def test_latency_under_load_azure_file_arrivals(self, capsys, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4\n"
+            "o,a,f-hot,http,20,10,15,5\n"
+            "o,a,f-cool,timer,2,1,0,1\n"
+        )
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "2.0",
+            "--arrivals", "azure-file", "--trace-file", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "azure-file arrivals" in out
+
+    def test_azure_file_arrivals_require_a_trace_file(self):
+        with pytest.raises(ValueError):
+            main([
+                "latency-under-load", "--benchmark", "get-time",
+                "--language", "p", "--invokers", "2", "--actions", "2",
+                "--load-factors", "0.4", "--duration", "1.0",
+                "--arrivals", "azure-file",
+            ])
+
+    def test_slo_control_quota_part(self, capsys):
+        assert main([
+            "slo-control", "--parts", "quota",
+            "--duration", "5.0", "--warmup", "2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO quota control" in out
+        assert "controlled" in out and "static" in out and "solo" in out
+        assert "control loop:" in out
+
     def test_tenant_fairness_reports_all_scenarios(self, capsys):
         assert main([
             "tenant-fairness", "--invokers", "1", "--cores", "2",
