@@ -1,0 +1,117 @@
+"""Forecast-driven pre-warming — can the planner beat the diurnal edge?
+
+The reactive :class:`~repro.faas.controlplane.planner.CapacityPlanner`
+seeds capacity only once backlog is *observed*, so under the diurnal
+cycle of ``azure_diurnal_arrivals`` every rising edge pays a cold-start
+storm before relief lands (the keep-alive reclaimed last peak's capacity
+during the trough).  The :class:`~repro.faas.controlplane.forecast.
+PredictivePlanner` instead pre-warms toward ``forecast(now + boot_time)``
+— per-action arrival-rate forecasts (EWMA + Holt trend + seasonal
+buckets fitted online across cycles) — so containers finish booting as
+the predicted wave arrives.
+
+This benchmark drives :func:`run_slo_control`'s ``forecast`` part: both
+regimes replay the *identical* diurnal trace under the *same* global
+container budget; only the planner kind differs.  The predictive planner
+must cut the rising-edge cold-start count and the p99 without giving up
+goodput.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_slo_control
+from repro.analysis.tables import render_table
+from repro.workloads import find_benchmark
+
+
+def _render(result):
+    rows = [
+        [
+            outcome.label,
+            f"{outcome.offered_rps:.1f}",
+            f"{outcome.achieved_rps:.1f}",
+            f"{outcome.goodput_fraction * 100:.0f}%",
+            str(outcome.cold_starts),
+            str(outcome.rising_cold_starts),
+            str(outcome.cold_dispatches),
+            str(outcome.rising_cold_dispatches),
+            str(outcome.prewarms),
+            f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+        ]
+        for outcome in result.forecast.values()
+    ]
+    print()
+    print(render_table(
+        ["planner", "offered", "achieved", "goodput", "cold starts",
+         "rising cs", "cold disp", "rising cd", "prewarms", "p99 (ms)"],
+        rows,
+        title=(
+            "Forecast-driven pre-warming — diurnal arrivals, equal budget "
+            f"({len(result.forecast['reactive'].rising_windows)} rising-edge "
+            "windows measured)"
+        ),
+    ))
+
+
+def test_predictive_prewarm_beats_reactive_at_the_rising_edge(
+    benchmark, bench_once, bench_scale
+):
+    spec = find_benchmark("md2html", "p")
+    duration = bench_scale(15.0, 9.0)
+    result = bench_once(
+        benchmark,
+        lambda: run_slo_control(
+            spec, parts=("forecast",),
+            forecast_duration_seconds=duration,
+        ),
+    )
+    _render(result)
+
+    reactive = result.forecast["reactive"]
+    predictive = result.forecast["predictive"]
+
+    # The comparison is honest: same trace, same global container budget.
+    assert predictive.budget == reactive.budget
+    assert predictive.offered_rps == reactive.offered_rps
+
+    # The predictive planner actually planned ahead: forecast-attributed
+    # seeds happened, and far more capacity was pre-warmed proactively
+    # than the backlog-driven baseline managed.
+    assert predictive.control_stats["predictive_seeds"] > 0
+    assert predictive.prewarms > reactive.prewarms
+
+    # The headline: cold starts at the diurnal rising edge drop strictly —
+    # the seeds were already booting when the wave arrived...
+    assert predictive.rising_cold_starts < reactive.rising_cold_starts, (
+        f"predictive rising-edge cold starts ({predictive.rising_cold_starts}) "
+        f"did not drop below reactive ({reactive.rising_cold_starts})"
+    )
+    if bench_scale(True, False):
+        # ...and so do the requests that actually waited on a boot there
+        # (the counts are too small to compare strictly at smoke scale).
+        assert (
+            predictive.rising_cold_dispatches < reactive.rising_cold_dispatches
+        ), (
+            f"predictive rising-edge cold dispatches "
+            f"({predictive.rising_cold_dispatches}) did not drop below "
+            f"reactive ({reactive.rising_cold_dispatches})"
+        )
+    assert predictive.cold_dispatches <= reactive.cold_dispatches
+
+    # ...which shows up where it matters: the tail. And the win is not
+    # bought with goodput (acceptance bar: within 5%).
+    assert predictive.p99_ms < reactive.p99_ms, (
+        f"predictive p99 ({predictive.p99_ms:.1f} ms) is not below "
+        f"reactive ({reactive.p99_ms:.1f} ms)"
+    )
+    assert predictive.achieved_rps >= 0.95 * reactive.achieved_rps
+
+    benchmark.extra_info["p99_ratio"] = round(
+        predictive.p99_ms / reactive.p99_ms, 3
+    )
+    benchmark.extra_info["rising_cold_starts"] = (
+        f"{predictive.rising_cold_starts} vs {reactive.rising_cold_starts}"
+    )
+    benchmark.extra_info["predictive_seeds"] = (
+        predictive.control_stats["predictive_seeds"]
+    )

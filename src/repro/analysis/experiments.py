@@ -864,6 +864,9 @@ def measure_latency_under_load(
     calibrate_warm_penalty: bool = False,
     arrivals: str = "poisson",
     trace_file: Optional[str] = None,
+    control_plane: bool = False,
+    planner: str = "reactive",
+    forecast_period_seconds: Optional[float] = None,
     caller_for=None,
     seed: int = 20230501,
     **mechanism_options,
@@ -886,7 +889,10 @@ def measure_latency_under_load(
     :func:`~repro.faas.loadgen.load_azure_trace_csv`.  The admission knobs
     (``admission_policy``, ``tenant_quota_rps``, ``autoscale``,
     ``calibrate_warm_penalty``) map directly onto the
-    :class:`~repro.config.SimulationConfig` fields of the same names.
+    :class:`~repro.config.SimulationConfig` fields of the same names, as
+    do the control-plane knobs (``control_plane``, ``planner``,
+    ``forecast_period_seconds`` — run the SLO control loop with the
+    reactive or the forecast-driven predictive capacity planner).
     """
     if arrivals not in ("poisson", "azure", "azure-diurnal", "azure-file"):
         raise ValueError(f"unknown arrival process {arrivals!r}")
@@ -906,6 +912,9 @@ def measure_latency_under_load(
             tenant_quota_rps=tenant_quota_rps,
             autoscale=autoscale,
             calibrate_warm_penalty=calibrate_warm_penalty,
+            control_plane=control_plane,
+            planner=planner,
+            forecast_period_seconds=forecast_period_seconds,
             seed=seed,
         )
     )
@@ -1356,6 +1365,44 @@ class CapacityPlanOutcome:
 
 
 @dataclass(frozen=True)
+class ForecastOutcome:
+    """One diurnal-arrivals run under one capacity-planner kind.
+
+    The rising-edge columns are the forecast story: cold dispatches
+    (requests whose container boot sat on their critical path) counted
+    inside the windows where the diurnal rate is climbing from trough to
+    peak — exactly where a reactive planner is one boot-time late and a
+    predictive one should already have seeded.
+    """
+
+    label: str
+    #: ``"reactive"`` or ``"predictive"``.
+    planner: str
+    offered_rps: float
+    achieved_rps: float
+    goodput_fraction: float
+    #: Windowed end-to-end p99 (ms) over the post-warmup completions.
+    p99_ms: Optional[float]
+    #: On-demand container boots over the whole run.
+    cold_starts: int
+    #: On-demand boots requested inside the measured rising-edge windows
+    #: — the cold-start storm the forecast exists to pre-empt.
+    rising_cold_starts: int
+    #: Requests whose boot sat on their critical path, whole run.
+    cold_dispatches: int
+    #: The same, restricted to the measured rising-edge windows.
+    rising_cold_dispatches: int
+    #: The [start, end) rising-edge windows that were measured (cycles
+    #: after the first, so the forecaster has history).
+    rising_windows: Tuple[Tuple[float, float], ...]
+    prewarms: int
+    drains: int
+    #: The global container budget both regimes share.
+    budget: int
+    control_stats: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class SLOControlResult:
     """Everything :func:`run_slo_control` measured."""
 
@@ -1366,6 +1413,10 @@ class SLOControlResult:
     quota: Dict[str, ControlScenario]
     #: ``reactive`` / ``planned`` skewed-deployment runs.
     capacity: Dict[str, CapacityPlanOutcome]
+    #: ``reactive`` / ``predictive`` diurnal-arrival runs (the
+    #: forecast-driven pre-warming comparison; empty unless the
+    #: ``"forecast"`` part ran).
+    forecast: Dict[str, ForecastOutcome] = dataclasses.field(default_factory=dict)
 
 
 def run_slo_control(
@@ -1392,6 +1443,14 @@ def run_slo_control(
     capacity_load_factor: float = 0.5,
     capacity_duration_seconds: float = 8.0,
     capacity_warmup_seconds: float = 2.5,
+    # -- forecast scenario (diurnal arrivals, reactive vs predictive) --
+    forecast_invokers: int = 4,
+    forecast_actions: int = 4,
+    forecast_load_factor: float = 0.55,
+    forecast_duration_seconds: float = 15.0,
+    forecast_cycles: int = 3,
+    forecast_amplitude: float = 0.9,
+    forecast_burst_fraction: float = 0.0,
     seed: int = 20230501,
 ) -> SLOControlResult:
     """The control-plane experiment: closed loops vs hand-set (or no) knobs.
@@ -1426,10 +1485,21 @@ def run_slo_control(
       seeded on idle peers ahead of the steals, under the global
       container budget, so steals land warm instead of booting on the
       critical path.
+
+    **Forecast-driven pre-warming** — ``forecast_cycles`` diurnal cycles
+    of ``azure_diurnal_arrivals`` at equal global budget, with a
+    keep-alive shorter than a trough (so every rising edge must re-build
+    warm capacity):
+
+    * ``"reactive"`` — the backlog-driven CapacityPlanner: each edge
+      pays a cold-start storm before relief arrives.
+    * ``"predictive"`` — the PredictivePlanner pre-warms toward the
+      forecast arrival rate one boot-time ahead, cutting rising-edge
+      cold dispatches and tail latency (see :class:`ForecastOutcome`).
     """
     if spec is None:
         spec = representative_benchmarks()[0]
-    unknown_parts = set(parts) - {"quota", "capacity"}
+    unknown_parts = set(parts) - {"quota", "capacity", "forecast"}
     if unknown_parts:
         raise ValueError(f"unknown run_slo_control parts: {sorted(unknown_parts)}")
 
@@ -1584,11 +1654,185 @@ def run_slo_control(
             "planned": run_capacity("planned", True),
         }
 
+    forecast_runs: Dict[str, ForecastOutcome] = {}
+    if "forecast" in parts:
+        forecast_runs = _run_forecast_comparison(
+            spec,
+            config,
+            invokers=forecast_invokers,
+            cores=cores,
+            actions=forecast_actions,
+            load_factor=forecast_load_factor,
+            duration_seconds=forecast_duration_seconds,
+            cycles=forecast_cycles,
+            amplitude=forecast_amplitude,
+            burst_fraction=forecast_burst_fraction,
+            seed=seed,
+        )
+
     return SLOControlResult(
         polite_slo_p99_ms=polite_slo_p99_ms,
         quota=quota_scenarios,
         capacity=capacity_runs,
+        forecast=forecast_runs,
     )
+
+
+def diurnal_rising_windows(
+    duration_seconds: float, period_seconds: float, *, skip_cycles: int = 1
+) -> List[Tuple[float, float]]:
+    """The windows where the diurnal sinusoid climbs from trough to peak.
+
+    ``azure_diurnal_arrivals`` modulates the rate by
+    ``1 + A·sin(2πt/P)``, which rises on ``[kP − P/4, kP + P/4]`` for
+    every integer cycle ``k``.  The first ``skip_cycles`` cycles are
+    skipped (a forecaster has no history there, and cold-start transients
+    belong to warmup), and windows are clipped to the run.
+    """
+    if duration_seconds <= 0 or period_seconds <= 0:
+        raise ValueError("duration and period must be positive")
+    if skip_cycles < 0:
+        raise ValueError("skip_cycles must be >= 0")
+    windows: List[Tuple[float, float]] = []
+    k = skip_cycles
+    while k * period_seconds - period_seconds / 4 < duration_seconds:
+        # Cycle 0's rising half starts at -P/4; only its in-run part counts.
+        start = max(0.0, k * period_seconds - period_seconds / 4)
+        end = min(k * period_seconds + period_seconds / 4, duration_seconds)
+        if end > start:
+            windows.append((start, end))
+        k += 1
+    return windows
+
+
+def _count_in_windows(
+    times: Sequence[float], windows: Sequence[Tuple[float, float]]
+) -> int:
+    """How many of ``times`` fall inside any of the [start, end) windows."""
+    return sum(
+        1
+        for at in times
+        if any(start <= at < end for start, end in windows)
+    )
+
+
+def _run_forecast_comparison(
+    spec,
+    config: str,
+    *,
+    invokers: int,
+    cores: int,
+    actions: int,
+    load_factor: float,
+    duration_seconds: float,
+    cycles: int,
+    amplitude: float,
+    burst_fraction: float,
+    seed: int,
+) -> Dict[str, ForecastOutcome]:
+    """Reactive vs predictive planner under diurnal arrivals, equal budget.
+
+    Both regimes run the full control plane over an identical
+    ``azure_diurnal_arrivals`` trace (same seed, same global container
+    budget); only the planner kind differs.  The keep-alive is deliberately
+    shorter than a trough, so warm capacity built at one peak is evicted
+    before the next rising edge — the regime every edge then pays (cold
+    starts behind the measured backlog, or pre-warms ahead of the
+    forecast) is exactly what the comparison isolates.
+    """
+    if cycles < 2:
+        raise ValueError("the forecast comparison needs >= 2 diurnal cycles")
+    offered = (
+        estimate_cluster_capacity_rps(spec, invokers=invokers, cores=cores)
+        * load_factor
+    )
+    period = duration_seconds / cycles
+    warmup = period  # cycle 0 is history-building, not measurement
+    names = balanced_action_names(actions, invokers=invokers, prefix="wave")
+    rising = diurnal_rising_windows(duration_seconds, period, skip_cycles=1)
+
+    def run_regime(label: str, planner: str) -> ForecastOutcome:
+        platform = FaaSCluster(
+            SimulationConfig(
+                cores=cores,
+                containers_per_action=1,
+                invokers=invokers,
+                # Hash affinity concentrates each action's wave on its
+                # home invoker; work stealing then pulls the overflow into
+                # whatever warm capacity exists elsewhere — which is
+                # exactly the capacity the planner's seeds create.
+                scheduler_policy="hash-affinity",
+                work_stealing=True,
+                max_containers_per_action=cores,
+                # A keep-alive much shorter than the trough: capacity
+                # built at one peak decays before the next rising edge,
+                # so *when* the planner re-warms is the lever under test.
+                keep_alive_seconds=period / 8,
+                control_plane=True,
+                planner=planner,
+                # The declared cycle period only configures the predictive
+                # planner's forecaster; the reactive regime has no
+                # forecaster to declare it to.
+                forecast_period_seconds=(
+                    period if planner == "predictive" else None
+                ),
+                seed=seed,
+            )
+        )
+        deployed = _deploy_action_copies(
+            platform, spec, config, actions, action_names=names
+        )
+        offsets, sequence = azure_diurnal_arrivals(
+            deployed,
+            duration_seconds=duration_seconds,
+            mean_rps=offered,
+            rng=platform.rng_streams.stream("azure-trace"),
+            period_seconds=period,
+            amplitude=amplitude,
+            burst_fraction=burst_fraction,
+        )
+        client = OpenLoopClient(
+            platform,
+            deployed,
+            trace=offsets,
+            action_sequence=sequence,
+            duration_seconds=duration_seconds,
+            warmup_seconds=warmup,
+        )
+        result = client.run()
+        cold_dispatch_times = sorted(
+            at
+            for invoker in platform.invokers
+            for at in invoker.cold_dispatch_times
+        )
+        cold_start_times = sorted(
+            at
+            for invoker in platform.invokers
+            for at in invoker.cold_start_times
+        )
+        stats = platform.control_plane_stats()
+        return ForecastOutcome(
+            label=label,
+            planner=planner,
+            offered_rps=result.offered_rps,
+            achieved_rps=result.achieved_rps,
+            goodput_fraction=result.goodput_fraction,
+            p99_ms=result.e2e.p99 * 1000 if result.e2e else None,
+            cold_starts=len(cold_start_times),
+            rising_cold_starts=_count_in_windows(cold_start_times, rising),
+            cold_dispatches=len(cold_dispatch_times),
+            rising_cold_dispatches=_count_in_windows(cold_dispatch_times, rising),
+            rising_windows=tuple(rising),
+            prewarms=sum(inv.prewarms for inv in platform.invokers),
+            drains=sum(inv.drains for inv in platform.invokers),
+            budget=int(stats["budget"]),
+            control_stats=stats,
+        )
+
+    return {
+        "reactive": run_regime("reactive", "reactive"),
+        "predictive": run_regime("predictive", "predictive"),
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -11,8 +11,10 @@ Usage (after installing the package)::
     python -m repro.cli latency-under-load [--benchmark NAME]
                                            [--load-factors 0.5 1.0 1.25]
                                            [--arrivals poisson|azure|azure-diurnal|azure-file]
+                                           [--planner reactive|predictive]
     python -m repro.cli tenant-fairness [--benchmark NAME] [--quota-factor 1.2]
-    python -m repro.cli slo-control [--benchmark NAME] [--parts quota capacity]
+    python -m repro.cli slo-control [--benchmark NAME]
+                                    [--parts quota capacity forecast]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -38,7 +40,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
-from repro.config import ADMISSION_POLICIES, SCHEDULER_POLICIES
+from repro.config import ADMISSION_POLICIES, PLANNER_KINDS, SCHEDULER_POLICIES
 from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
 
 
@@ -158,6 +160,11 @@ def cmd_cluster_scaling(args: argparse.Namespace) -> int:
 
 def cmd_latency_under_load(args: argparse.Namespace) -> int:
     """Open-loop load sweep: achieved throughput and latency per strategy."""
+    if args.forecast_period is not None and args.planner != "predictive":
+        print("error: --forecast-period requires --planner predictive "
+              "(it configures the predictive planner's forecaster)",
+              file=sys.stderr)
+        return 2
     spec = _spec_from_args(args)
     capacity = estimate_cluster_capacity_rps(
         spec, invokers=args.invokers, cores=args.cores
@@ -177,6 +184,9 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
                 warmup_seconds=warmup,
                 arrivals=args.arrivals,
                 trace_file=args.trace_file,
+                control_plane=args.planner is not None,
+                planner=args.planner or "reactive",
+                forecast_period_seconds=args.forecast_period,
             )
             rows.append([
                 point.strategy,
@@ -258,6 +268,8 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
         warmup_seconds=min(args.warmup, args.duration / 2),
         capacity_duration_seconds=args.duration,
         capacity_warmup_seconds=min(args.warmup, args.duration / 2),
+        forecast_duration_seconds=args.forecast_duration,
+        forecast_cycles=args.forecast_cycles,
     )
     if result.quota:
         rows = []
@@ -329,6 +341,41 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
                 print(f"  {decision.describe()}")
             if len(planned.migrations) > len(shown):
                 print(f"  ... {len(planned.migrations) - len(shown)} more")
+    if result.forecast:
+        rows = [
+            [
+                outcome.label,
+                f"{outcome.offered_rps:.1f}",
+                f"{outcome.achieved_rps:.1f}",
+                f"{outcome.goodput_fraction * 100:.0f}%",
+                str(outcome.cold_starts),
+                str(outcome.rising_cold_starts),
+                str(outcome.cold_dispatches),
+                str(outcome.rising_cold_dispatches),
+                str(outcome.prewarms),
+                f"{outcome.p99_ms:.1f}" if outcome.p99_ms is not None else "-",
+            ]
+            for outcome in result.forecast.values()
+        ]
+        print(render_table(
+            ["planner", "offered (req/s)", "achieved (req/s)", "goodput",
+             "cold starts", "rising cs", "cold disp", "rising cd",
+             "prewarms", "p99 (ms)"],
+            rows,
+            title=(
+                f"Forecast-driven pre-warming — {spec.qualified_name} under "
+                f"{args.config} (diurnal arrivals, {args.forecast_cycles} "
+                "cycles, equal global budget)"
+            ),
+        ))
+        predictive = result.forecast["predictive"]
+        stats = predictive.control_stats
+        print(
+            f"predictive planner: {stats['predictive_seeds']} forecast seeds, "
+            f"{stats['forecast_ready_actions']}/{stats['forecast_tracked_actions']} "
+            f"actions forecastable, {stats['forecast_fallback_ticks']} "
+            "reactive-fallback ticks"
+        )
     return 0
 
 
@@ -433,6 +480,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="path to an Azure Functions "
                                   "invocations-per-function CSV "
                                   "(required with --arrivals azure-file)")
+    load_parser.add_argument("--planner", choices=PLANNER_KINDS, default=None,
+                             help="run the SLO control plane with this "
+                                  "capacity planner: 'reactive' shifts "
+                                  "pre-warmed capacity toward observed "
+                                  "backlog, 'predictive' pre-warms toward "
+                                  "forecast per-action arrival rates one "
+                                  "boot-time ahead (default: no control "
+                                  "plane)")
+    load_parser.add_argument("--forecast-period", type=float, default=None,
+                             help="declared seasonal period (virtual "
+                                  "seconds) for the predictive planner's "
+                                  "forecaster — e.g. the diurnal cycle "
+                                  "length under --arrivals azure-diurnal "
+                                  "(default: level+trend only)")
     load_parser.set_defaults(func=cmd_latency_under_load)
 
     fairness_parser = subparsers.add_parser(
@@ -470,9 +531,12 @@ def build_parser() -> argparse.ArgumentParser:
     control_parser.add_argument("--config", default="gh",
                                 help="isolation configuration (default: gh)")
     control_parser.add_argument("--parts", nargs="+",
-                                choices=("quota", "capacity"),
+                                choices=("quota", "capacity", "forecast"),
                                 default=["quota", "capacity"],
-                                help="which closed loops to demonstrate")
+                                help="which closed loops to demonstrate "
+                                     "('forecast' compares the reactive vs "
+                                     "the predictive capacity planner under "
+                                     "diurnal arrivals at equal budget)")
     control_parser.add_argument("--duration", type=float, default=12.0,
                                 help="virtual seconds of arrivals per scenario")
     control_parser.add_argument("--warmup", type=float, default=5.0,
@@ -481,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
                                      "convergence)")
     control_parser.add_argument("--migrations", type=int, default=8,
                                 help="planner migration decisions to print")
+    control_parser.add_argument("--forecast-duration", type=float, default=15.0,
+                                help="virtual seconds of diurnal arrivals in "
+                                     "the forecast part")
+    control_parser.add_argument("--forecast-cycles", type=int, default=3,
+                                help="diurnal cycles within the forecast "
+                                     "part's duration (cycle 0 builds the "
+                                     "forecaster's history)")
     control_parser.set_defaults(func=cmd_slo_control)
     return parser
 

@@ -50,6 +50,15 @@ DEFAULT_KEEP_ALIVE_SECONDS = 600.0
 #: ``caller``) with longest-queue-drop shedding on overflow.
 ADMISSION_POLICIES = ("fifo", "wfq")
 
+#: Capacity-planner kinds the control plane can run.  ``reactive`` shifts
+#: pre-warmed capacity toward *observed* backlog (the
+#: :class:`~repro.faas.controlplane.planner.CapacityPlanner`);
+#: ``predictive`` additionally pre-warms toward *forecast* per-action
+#: arrival rates (EWMA + Holt trend + optional seasonal buckets), seeding
+#: one boot-time ahead of the predicted wave
+#: (:class:`~repro.faas.controlplane.forecast.PredictivePlanner`).
+PLANNER_KINDS = ("reactive", "predictive")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -148,6 +157,25 @@ class SimulationConfig:
     #: capacity planner may maintain.  ``None`` defaults to twice the
     #: cluster's total core count.
     global_container_budget: Optional[int] = None
+    #: Which capacity planner the control plane runs: ``"reactive"``
+    #: (seed toward observed backlog, the PR 4 behaviour) or
+    #: ``"predictive"`` (additionally pre-warm toward forecast per-action
+    #: arrival rates, one boot-time ahead of the predicted wave).
+    planner: str = "reactive"
+    #: Declared seasonal period (virtual seconds) of the arrival process
+    #: — e.g. the diurnal cycle length of ``azure_diurnal_arrivals``.
+    #: When set, the predictive planner's forecaster fits per-phase
+    #: seasonal factors from bucketed history; ``None`` disables the
+    #: seasonal component (pure level + trend).
+    forecast_period_seconds: Optional[float] = None
+    #: Minimum observed history (virtual seconds) before an action's
+    #: forecast is trusted; with less, the predictive planner falls back
+    #: to purely reactive planning for that action.
+    forecast_min_history_seconds: float = 2.0
+    #: Extra forecast lead (virtual seconds) added on top of each
+    #: action's calibrated boot time — a safety margin for workloads
+    #: whose ramps outrun one boot time.
+    forecast_horizon_margin_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -204,6 +232,25 @@ class SimulationConfig:
                 raise ValueError("global_container_budget requires control_plane")
             if self.global_container_budget < 1:
                 raise ValueError("global_container_budget must be >= 1")
+        if self.planner not in PLANNER_KINDS:
+            raise ValueError(
+                f"unknown planner {self.planner!r}; choose one of {PLANNER_KINDS}"
+            )
+        if self.planner == "predictive" and not self.control_plane:
+            raise ValueError("planner='predictive' requires control_plane")
+        if self.forecast_period_seconds is not None:
+            if self.planner != "predictive":
+                # Only the predictive planner builds a forecaster; on any
+                # other configuration the knob would be silently dead.
+                raise ValueError(
+                    "forecast_period_seconds requires planner='predictive'"
+                )
+            if self.forecast_period_seconds <= 0:
+                raise ValueError("forecast_period_seconds must be positive (or None)")
+        if self.forecast_min_history_seconds < 0:
+            raise ValueError("forecast_min_history_seconds must be >= 0")
+        if self.forecast_horizon_margin_seconds < 0:
+            raise ValueError("forecast_horizon_margin_seconds must be >= 0")
 
     def with_cores(self, cores: int) -> "SimulationConfig":
         """Return a copy of this config with a different core count."""

@@ -19,7 +19,12 @@ from repro.config import SimulationConfig
 from repro.errors import ActionNotFoundError, PlatformError
 from repro.faas.action import ActionSpec
 from repro.faas.admission import ReactiveAutoscaler, TenantQuotas
-from repro.faas.controlplane import ControlPlane, MigrationDecision, TenantSLO
+from repro.faas.controlplane import (
+    ControlPlane,
+    MigrationDecision,
+    PredictivePlanner,
+    TenantSLO,
+)
 from repro.faas.container import Container
 from repro.faas.controller import Controller
 from repro.faas.invoker import Invoker
@@ -125,6 +130,12 @@ class FaaSCluster:
                 interval_seconds=self.config.control_interval_seconds,
                 window_seconds=self.config.slo_window_seconds,
                 budget=self.config.global_container_budget,
+                planner_kind=self.config.planner,
+                forecast_period_seconds=self.config.forecast_period_seconds,
+                forecast_min_history_seconds=self.config.forecast_min_history_seconds,
+                forecast_horizon_margin_seconds=(
+                    self.config.forecast_horizon_margin_seconds
+                ),
             )
             if self.config.control_plane
             else None
@@ -160,19 +171,33 @@ class FaaSCluster:
         deployed = self.scheduler.deploy(spec, containers=count, max_containers=ceiling)
         self._specs[spec.name] = spec
         self.per_action_metrics[spec.name] = MetricsCollector()
-        if self.config.calibrate_warm_penalty and isinstance(
-            self.scheduler.policy, WarmAwarePolicy
+        # The home invoker just booted the pre-warmed containers, so the
+        # measured init time is available; the service-time denominator
+        # is the same estimate the load-sizing heuristics use.
+        init = deployed[0].init_report if deployed else None
+        if (
+            init is not None
+            and self.config.calibrate_warm_penalty
+            and isinstance(self.scheduler.policy, WarmAwarePolicy)
         ):
-            # The home invoker just booted the pre-warmed containers, so the
-            # measured init time is available; the service-time denominator
-            # is the same estimate the load-sizing heuristics use.
-            init = deployed[0].init_report if deployed else None
-            if init is not None:
-                self.scheduler.policy.calibrate(
-                    spec.name,
-                    boot_seconds=init.total_seconds,
-                    service_seconds=estimated_service_seconds(spec.profile),
-                )
+            self.scheduler.policy.calibrate(
+                spec.name,
+                boot_seconds=init.total_seconds,
+                service_seconds=estimated_service_seconds(spec.profile),
+            )
+        if (
+            init is not None
+            and self.control_plane is not None
+            and isinstance(self.control_plane.planner, PredictivePlanner)
+        ):
+            # The predictive planner forecasts one boot-time ahead per
+            # action: the measured init time is its lead, and the same
+            # service estimate converts forecast rates into containers.
+            self.control_plane.planner.calibrate(
+                spec.name,
+                boot_seconds=init.total_seconds,
+                service_seconds=estimated_service_seconds(spec.profile),
+            )
         return deployed
 
     def containers(self, action: str) -> List[Container]:
@@ -318,6 +343,35 @@ class FaaSCluster:
     def queued_by_tenant(self) -> Dict[str, int]:
         """Cluster-wide waiting invocations per tenant."""
         return self.scheduler.queued_by_tenant()
+
+    def arrivals_per_action(self) -> Dict[str, int]:
+        """Cluster-wide lifetime submissions per action (demand signal)."""
+        totals: Dict[str, int] = {}
+        for action in self._specs:
+            count = sum(
+                invoker.arrivals_total(action)
+                for invoker in self.invokers
+                if invoker.hosts(action)
+            )
+            if count:
+                totals[action] = count
+        return totals
+
+    def recent_arrival_times(self, action: str, *, since: float = 0.0) -> List[float]:
+        """Recent arrival timestamps of ``action``, merged across invokers.
+
+        Bounded recent history (each invoker keeps a capped per-action
+        buffer), chronologically sorted.  An observability/debugging
+        surface finer-grained than the cumulative ``arrivals_total``
+        counters the forecaster itself consumes.
+        """
+        self._require_spec(action)
+        merged: List[float] = []
+        for invoker in self.invokers:
+            if invoker.hosts(action):
+                merged.extend(invoker.recent_arrival_times(action, since=since))
+        merged.sort()
+        return merged
 
     @property
     def routing_skew(self) -> float:

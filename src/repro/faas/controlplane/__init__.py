@@ -11,6 +11,12 @@ Three cooperating controllers close the loop the lower layers left open:
 * :class:`~repro.faas.controlplane.planner.CapacityPlanner` — shifts
   pre-warmed containers between invokers (seed underloaded peers, drain
   idle pools) under a global container budget.
+* :class:`~repro.faas.controlplane.forecast.DemandForecaster` /
+  :class:`~repro.faas.controlplane.forecast.PredictivePlanner` — the
+  forecast-driven variant: per-action arrival-rate forecasts (EWMA +
+  Holt trend + optional seasonal buckets) pre-warm capacity one
+  boot-time *ahead* of the predicted wave instead of behind the
+  measured backlog.
 
 :class:`~repro.faas.controlplane.loop.ControlPlane` runs them on a
 recurring simulation timer, wired up by
@@ -18,6 +24,7 @@ recurring simulation timer, wired up by
 ``SimulationConfig.control_plane`` is enabled.
 """
 
+from repro.faas.controlplane.forecast import DemandForecaster, PredictivePlanner
 from repro.faas.controlplane.loop import ControlPlane, IDLE_TICKS_TO_STOP
 from repro.faas.controlplane.planner import CapacityPlanner, MigrationDecision
 from repro.faas.controlplane.slo import SLOMonitor, TenantSLO, TenantSLOStatus
@@ -27,7 +34,9 @@ __all__ = [
     "ControlPlane",
     "IDLE_TICKS_TO_STOP",
     "CapacityPlanner",
+    "DemandForecaster",
     "MigrationDecision",
+    "PredictivePlanner",
     "SLOMonitor",
     "TenantSLO",
     "TenantSLOStatus",

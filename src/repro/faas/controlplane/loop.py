@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, TYPE_CHECKING
 
+from repro.config import PLANNER_KINDS
 from repro.errors import PlatformError
+from repro.faas.controlplane.forecast import DemandForecaster, PredictivePlanner
 from repro.faas.controlplane.planner import CapacityPlanner, MigrationDecision
 from repro.faas.controlplane.slo import SLOMonitor, TenantSLO
 from repro.faas.controlplane.tuner import QuotaTuner
@@ -52,9 +54,18 @@ class ControlPlane:
         monitor: Optional[SLOMonitor] = None,
         tuner: Optional[QuotaTuner] = None,
         planner: Optional[CapacityPlanner] = None,
+        planner_kind: str = "reactive",
+        forecast_period_seconds: Optional[float] = None,
+        forecast_min_history_seconds: float = 2.0,
+        forecast_horizon_margin_seconds: float = 0.0,
     ) -> None:
         if interval_seconds <= 0:
             raise PlatformError("control interval must be positive")
+        if planner_kind not in PLANNER_KINDS:
+            raise PlatformError(
+                f"unknown planner kind {planner_kind!r}; "
+                f"choose one of {PLANNER_KINDS}"
+            )
         self.cluster = cluster
         self.interval_seconds = interval_seconds
         if budget is None:
@@ -77,7 +88,19 @@ class ControlPlane:
                 raise_hold_ticks=max(1, round(window / (2 * interval_seconds))),
             )
         self.tuner = tuner
-        self.planner = planner if planner is not None else CapacityPlanner(budget)
+        if planner is None:
+            if planner_kind == "predictive":
+                planner = PredictivePlanner(
+                    budget,
+                    forecaster=DemandForecaster(
+                        season_period_seconds=forecast_period_seconds,
+                        min_history_seconds=forecast_min_history_seconds,
+                    ),
+                    horizon_margin_seconds=forecast_horizon_margin_seconds,
+                )
+            else:
+                planner = CapacityPlanner(budget)
+        self.planner = planner
         self._timer: Optional[RecurringTimer] = None
         self._idle_ticks = 0
         self.ticks = 0
@@ -154,7 +177,7 @@ class ControlPlane:
 
     def stats(self) -> Dict[str, object]:
         """Counter snapshot for driver/CLI tables."""
-        return {
+        stats: Dict[str, object] = {
             "ticks": self.ticks,
             "assessments": self.monitor.assessments,
             "violations_seen": self.monitor.violations_seen,
@@ -165,4 +188,12 @@ class ControlPlane:
             "drains": self.planner.drains,
             "migrations": len(self.planner.decisions),
             "budget": self.planner.budget,
+            "planner": (
+                "predictive"
+                if isinstance(self.planner, PredictivePlanner)
+                else "reactive"
+            ),
         }
+        if isinstance(self.planner, PredictivePlanner):
+            stats.update(self.planner.forecast_stats())
+        return stats

@@ -119,6 +119,13 @@ class CapacityPlanner:
             target_index = self._pick_target(snapshots, src_index, action)
             if target_index is None:
                 continue
+            target = invokers[target_index]
+            if not target.can_prewarm(action, raise_ceiling=True):
+                # The seed could not land (pool at the core bound): skip
+                # *before* funding it.  Draining first and discovering the
+                # failure afterwards would reclaim a container for nothing
+                # — an over-drain the budget bookkeeping never refunds.
+                continue
             if total >= self.budget:
                 funded = self._drain_one(
                     invokers, now, exclude_action=action, made=made
@@ -126,7 +133,6 @@ class CapacityPlanner:
                 if funded is None:
                     break  # nothing drainable: the budget is genuinely spent
                 total -= 1
-            target = invokers[target_index]
             if target.growth_headroom(action) == 0:
                 target.scale_action(action, +1)
             if not target.prewarm(action):

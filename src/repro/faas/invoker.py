@@ -101,6 +101,15 @@ class _ActionPool:
     #: Invocations shed from this action's queue over the pool's lifetime
     #: (the autoscaler's rejection-pressure signal).
     rejected: int = 0
+    #: Invocations submitted to this pool over its lifetime (counted at
+    #: arrival, before quota/backpressure decide their fate — the offered
+    #: demand signal a forecaster consumes).  Adopted steals are not
+    #: re-counted: the victim already recorded that arrival.
+    arrivals: int = 0
+    #: Recent arrival timestamps (bounded; oldest dropped first) — an
+    #: observability surface finer-grained than the cumulative counter
+    #: the forecaster consumes.
+    arrival_times: Deque[float] = field(default_factory=lambda: deque(maxlen=4096))
 
 
 @dataclass(frozen=True)
@@ -146,6 +155,10 @@ class InvokerSnapshot:
     #: makes planner-seeded capacity observable: ``warm_total - prewarmed``
     #: is the dynamic (migratable) part of each pool.
     prewarmed: Mapping[str, int] = field(default_factory=dict)
+    #: Lifetime invocations submitted per action (only actions with at
+    #: least one) — the arrival-demand signal a forecasting control plane
+    #: differences tick over tick to estimate per-action arrival rates.
+    arrivals_total: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def load(self) -> int:
@@ -239,6 +252,14 @@ class Invoker:
         #: ``prewarms`` instead, so this counter keeps meaning "boots that
         #: queued work was waiting for".
         self.cold_starts = 0
+        #: When each on-demand boot was requested (parallel to
+        #: ``cold_starts``) — lets experiments attribute cold-start storms
+        #: to windows of the run (e.g. the rising edge of a diurnal cycle).
+        self.cold_start_times: List[float] = []
+        #: When each *cold dispatch* happened: a request served by a
+        #: container whose boot sat on its critical path (the complement
+        #: of ``warm_hits``, time-resolved).
+        self.cold_dispatch_times: List[float] = []
         #: Backlogged boots cancelled before they reached a core (their
         #: demand disappeared, e.g. the queued work was stolen away).
         self.boots_cancelled = 0
@@ -348,6 +369,8 @@ class Invoker:
         pool = self._require_pool(invocation.action)
         arrival = self.loop.now
         self.invocations_submitted += 1
+        pool.arrivals += 1
+        pool.arrival_times.append(arrival)
         # Quota enforcement comes first: a tenant over its admission rate
         # is refused outright — even when capacity is free — with the
         # distinct THROTTLED status (policy, not backpressure).
@@ -448,6 +471,8 @@ class Invoker:
             and container.ready_at > invocation.submitted_at
         ):
             self.warm_hits += 1
+        else:
+            self.cold_dispatch_times.append(now)
 
         execution = container.execute(invocation, verify=self.verify_isolation)
         invocation.invoker_seconds = execution.invoker_seconds
@@ -618,6 +643,22 @@ class Invoker:
     # Control-plane actuation: pre-warm, drain, runtime weights
     # ------------------------------------------------------------------
 
+    def can_prewarm(self, action: str, *, raise_ceiling: bool = False) -> bool:
+        """Whether a :meth:`prewarm` would actually boot a container now.
+
+        ``raise_ceiling=True`` answers for the planner's actuation pattern
+        — a one-step :meth:`scale_action` ceiling raise followed by the
+        prewarm — so a planner can verify a seed will land *before* paying
+        for it (e.g. before draining a container elsewhere to fund it).
+        The core count stays a hard bound either way: containers beyond
+        the cores can never run.
+        """
+        pool = self._require_pool(action)
+        ceiling = min(
+            pool.max_containers + (1 if raise_ceiling else 0), self.cores
+        )
+        return len(pool.containers) + pool.cold_starting < ceiling
+
     def prewarm(self, action: str) -> bool:
         """Boot one container for ``action`` proactively (capacity seeding).
 
@@ -721,6 +762,7 @@ class Invoker:
         pool.cold_starting += 1
         if on_demand:
             self.cold_starts += 1
+            self.cold_start_times.append(self.loop.now)
         self._boot_backlog.append((pool, container))
         self._start_boots()
 
@@ -875,6 +917,22 @@ class Invoker:
                 totals[tenant] = totals.get(tenant, 0) + depth
         return totals
 
+    def arrivals_total(self, action: Optional[str] = None) -> int:
+        """Lifetime invocations submitted (for one action or all of them)."""
+        if action is not None:
+            return self._require_pool(action).arrivals
+        return sum(pool.arrivals for pool in self._pools.values())
+
+    def recent_arrival_times(self, action: str, *, since: float = 0.0) -> List[float]:
+        """Recent arrival timestamps of ``action`` at or after ``since``.
+
+        The per-pool buffer is bounded (oldest entries drop first), so
+        this is a *recent-history* surface for forecasting, not a full
+        arrival log.
+        """
+        pool = self._require_pool(action)
+        return [at for at in pool.arrival_times if at >= since]
+
     def idle_warm_actions(self) -> List[str]:
         """Actions with at least one idle warm container, in pool order."""
         return [name for name, pool in self._pools.items() if pool.idle]
@@ -887,6 +945,7 @@ class Invoker:
         headroom: Dict[str, int] = {}
         queued_per_action: Dict[str, int] = {}
         prewarmed: Dict[str, int] = {}
+        arrivals_total: Dict[str, int] = {}
         for name, pool in self._pools.items():
             if pool.idle:
                 idle_warm[name] = len(pool.idle)
@@ -898,6 +957,8 @@ class Invoker:
                 queued_per_action[name] = len(pool.queue)
             if pool.prewarmed:
                 prewarmed[name] = pool.prewarmed
+            if pool.arrivals:
+                arrivals_total[name] = pool.arrivals
             room = (
                 self._growth_ceiling(pool) - len(pool.containers) - pool.cold_starting
             )
@@ -918,6 +979,7 @@ class Invoker:
             growth_headroom=headroom,
             queued_per_action=queued_per_action,
             prewarmed=prewarmed,
+            arrivals_total=arrivals_total,
         )
 
     def stats(self) -> Dict[str, object]:

@@ -134,18 +134,31 @@ def azure_functions_arrivals(
         raise PlatformError("mean_rps must be positive")
     if skew < 0:
         raise PlatformError("skew must be >= 0")
-    weights = [1.0 / (index + 1) ** skew for index in range(len(actions))]
+    weights = []
+    for index in range(len(actions)):
+        try:
+            weights.append(1.0 / (index + 1) ** skew)
+        except OverflowError:
+            # A deep tail under a steep skew overflows the denominator —
+            # that action's share is an exact 0.0 (handled below).
+            weights.append(0.0)
     total_weight = sum(weights)
     arrivals: List[Tuple[float, str]] = []
     for action, weight in zip(actions, weights):
         rate = mean_rps * weight / total_weight
+        if rate <= 0.0 or not math.isfinite(rate):
+            # A rate that underflowed to zero (deep tail under a steep
+            # skew) contributes no arrivals; drawing from expovariate(0)
+            # would divide by zero instead.
+            continue
         offset = rng.expovariate(rate)
         while offset <= duration_seconds:
             arrivals.append((offset, action))
             offset += rng.expovariate(rate)
     if not arrivals:
         raise PlatformError(
-            "the requested rate and duration produced no arrivals; "
+            "the requested rate and duration produced no arrivals "
+            "(every per-action rate was zero or too low); "
             "raise mean_rps or duration_seconds"
         )
     arrivals.sort(key=lambda pair: pair[0])
@@ -243,12 +256,26 @@ def azure_diurnal_arrivals(
     # 1 + amplitude, and paying the burst multiplier there would reject
     # (multiplier - 1)/multiplier of all candidate draws for nothing.
     peak_factor = (1.0 + amplitude) * (burst_multiplier if burst_edges else 1.0)
-    weights = [1.0 / (index + 1) ** skew for index in range(len(actions))]
+    weights = []
+    for index in range(len(actions)):
+        try:
+            weights.append(1.0 / (index + 1) ** skew)
+        except OverflowError:
+            # A deep tail under a steep skew overflows the denominator —
+            # that action's share is an exact 0.0 (handled below).
+            weights.append(0.0)
     total_weight = sum(weights)
     arrivals: List[Tuple[float, str]] = []
     for action, weight in zip(actions, weights):
         base_rate = base_mean * weight / total_weight
         peak_rate = base_rate * peak_factor
+        if peak_rate <= 0.0 or not math.isfinite(peak_rate):
+            # A zero (or underflowed) thinning envelope means the action's
+            # instantaneous rate is zero everywhere: it legitimately
+            # produces no arrivals.  Sampling would instead divide by zero
+            # in expovariate — or, for subnormal rates, emit a single
+            # arrival at an astronomically distant offset.
+            continue
         offset = rng.expovariate(peak_rate)
         while offset <= duration_seconds:
             # Thinning: a candidate drawn at the peak rate survives with
@@ -259,7 +286,8 @@ def azure_diurnal_arrivals(
             offset += rng.expovariate(peak_rate)
     if not arrivals:
         raise PlatformError(
-            "the requested rate and duration produced no arrivals; "
+            "the requested rate and duration produced no arrivals "
+            "(every per-action rate was zero or too low); "
             "raise mean_rps or duration_seconds"
         )
     arrivals.sort(key=lambda pair: pair[0])
@@ -324,17 +352,28 @@ def load_azure_trace_csv(
                 break
         rows: List[Tuple[str, List[int]]] = []
         for row_index, row in enumerate(reader):
-            if not row:
+            if not row or all(not cell.strip() for cell in row):
+                # Blank lines (and rows of empty cells, a common CSV
+                # export artefact) are skipped, not an error.
                 continue
             try:
                 counts = [int(float(row[index])) for index in minute_columns]
-            except (ValueError, IndexError):
+            except (ValueError, IndexError, OverflowError):
+                # OverflowError covers int(float("inf")): a count column
+                # holding "inf" is malformed data, not a huge workload.
                 raise PlatformError(
                     f"Azure trace {path!r} row {row_index + 2}: "
-                    "per-minute counts must be numeric"
+                    "per-minute counts must be finite numbers"
                 ) from None
+            if any(count < 0 for count in counts):
+                raise PlatformError(
+                    f"Azure trace {path!r} row {row_index + 2}: "
+                    "per-minute counts must be >= 0"
+                )
             identity = (
-                row[id_column] if id_column is not None else f"row-{row_index}"
+                row[id_column]
+                if id_column is not None and id_column < len(row)
+                else f"row-{row_index}"
             )
             rows.append((identity, counts))
     if not rows:

@@ -103,13 +103,22 @@ class MetricsCollector:
     def record(self, invocation: Invocation) -> None:
         """Record a finished invocation."""
         if invocation.status is InvocationStatus.COMPLETED:
-            self._completed.append(invocation)
+            bucket = self._completed
         elif invocation.status is InvocationStatus.REJECTED:
-            self._rejected.append(invocation)
+            bucket = self._rejected
         elif invocation.status is InvocationStatus.THROTTLED:
-            self._throttled.append(invocation)
+            bucket = self._throttled
         else:
-            self._failed.append(invocation)
+            bucket = self._failed
+        if bucket and bucket[-1].completed_at > invocation.completed_at:
+            # Out-of-order recording (a caller replaying history, or an
+            # invocation finished across a bucket edge): insert in sorted
+            # position so :meth:`window`'s binary search stays correct.
+            # The event-loop path always records at the finish instant, so
+            # this branch never runs there and appends stay O(1).
+            bisect.insort(bucket, invocation, key=lambda inv: inv.completed_at)
+        else:
+            bucket.append(invocation)
 
     # ------------------------------------------------------------------
     # Access
@@ -184,14 +193,27 @@ class MetricsCollector:
         aggregates — a tenant that misbehaved a minute ago but is currently
         within its SLO must not look violating forever.
 
-        Each bucket is appended at recording time, and recordings happen
-        at the invocation's finish instant inside the monotone event loop,
-        so the buckets are sorted by ``completed_at`` — the window
-        boundaries are found by binary search, costing O(log run + window)
-        per call rather than O(run).  A control loop ticking every quarter
-        of a virtual second therefore stays linear in the run.
+        The window is the **closed** interval ``[start, end]``: a sample
+        finishing exactly at either boundary is a member.  A control loop
+        assessing at ``now`` over ``window(now - w, now)`` must see the
+        completions recorded earlier in this very instant — the half-open
+        alternative would blind every tick to its own timestamp.  The
+        corollary (deliberate, and pinned by tests): two *adjacent* calls
+        sharing a boundary both count a sample that finished exactly on
+        it, so adjacent windows are not a partition.  Callers that need
+        disjoint coverage must subtract the boundary themselves.  An
+        inverted window (``end < start``) is empty, not an error.
+
+        Buckets are kept sorted by ``completed_at`` (:meth:`record`
+        appends in the common in-order case and bisect-inserts otherwise),
+        so the window boundaries are found by binary search, costing
+        O(log run + window) per call rather than O(run).  A control loop
+        ticking every quarter of a virtual second therefore stays linear
+        in the run.
         """
         clipped = MetricsCollector()
+        if end is not None and end < start:
+            return clipped
 
         def finished_at(invocation: Invocation) -> float:
             return invocation.completed_at
@@ -199,6 +221,8 @@ class MetricsCollector:
         for bucket in (self._completed, self._failed, self._rejected, self._throttled):
             low = bisect.bisect_left(bucket, start, key=finished_at)
             high = (
+                # bisect_right: entries with completed_at == end fall
+                # *below* the cut, making the right boundary inclusive.
                 bisect.bisect_right(bucket, end, key=finished_at)
                 if end is not None
                 else len(bucket)

@@ -494,6 +494,118 @@ class TestCapacityPlanner:
             CapacityPlanner(budget=4, min_idle_seconds=-1.0)
 
 
+class TestPlannerBudgetBoundary:
+    """Regressions for the seed-funding path exactly at ``total == budget``."""
+
+    def _build(self, small_python_profile, loop):
+        hot = _action(small_python_profile, "hot")
+        cold = _action(small_python_profile, "cold")
+        invokers = []
+        for index in range(3):
+            invoker = Invoker(loop, cores=2, invoker_id=f"invoker-{index}")
+            if index == 0:
+                invoker.deploy(hot, containers=1, max_containers=2)
+            else:
+                invoker.register(hot, max_containers=2)
+            if index == 2:
+                invoker.deploy(cold, containers=1, max_containers=2)
+            else:
+                invoker.register(cold, max_containers=2)
+            invokers.append(invoker)
+        return hot, cold, invokers
+
+    def _backlog(self, invoker, action, count):
+        for _ in range(count):
+            invoker.submit(
+                Invocation(action=action, caller="t", submitted_at=invoker.loop.now),
+                lambda inv: None,
+            )
+
+    def test_seed_at_exact_budget_is_funded_and_stays_within(
+        self, small_python_profile
+    ):
+        loop = EventLoop()
+        hot, cold, invokers = self._build(small_python_profile, loop)
+        # One idle dynamic container of the cold action funds the shift.
+        invokers[2].prewarm("cold")
+        loop.run(until=100.0)
+        self._backlog(invokers[0], "hot", 8)
+        total = CapacityPlanner.total_containers(
+            [inv.snapshot() for inv in invokers]
+        )
+        planner = CapacityPlanner(budget=total, queue_high=4, min_idle_seconds=0.0)
+        decisions = planner.plan(invokers, loop.now)
+        kinds = sorted(d.kind for d in decisions)
+        assert kinds == ["drain", "prewarm"]  # one funded shift, no extras
+        after = CapacityPlanner.total_containers(
+            [inv.snapshot() for inv in invokers]
+        )
+        assert after <= total
+
+    def test_no_drain_when_the_seed_cannot_land(self, small_python_profile):
+        """The over-drain regression: at the budget boundary, a seed whose
+        target has no room must be skipped *before* funding it — draining
+        first would reclaim a container for nothing.
+
+        The target looks attractive to placement (a free core, no idle
+        warm/boot/queue for the action) but cannot host the seed: its hot
+        pool already exceeds the lowered ceiling, so even the planner's
+        one-step ceiling raise cannot admit another container.
+        """
+        loop = EventLoop()
+        hot = _action(small_python_profile, "hot")
+        cold = _action(small_python_profile, "cold")
+        home = Invoker(loop, cores=2, invoker_id="invoker-0")
+        home.deploy(hot, containers=1, max_containers=2)
+        home.register(cold, max_containers=2)
+        peer = Invoker(loop, cores=4, invoker_id="invoker-1")
+        peer.register(hot, max_containers=2)
+        peer.register(cold, max_containers=2)
+        peer.prewarm("hot")
+        peer.prewarm("hot")
+        peer.prewarm("cold")  # the drainable-looking idle dynamic container
+        loop.run(until=100.0)
+        # Lower the hot ceiling below the grown pool, then occupy both hot
+        # containers: no idle warm, a free core — placement will pick the
+        # peer — but containers (2) >= min(ceiling 1 + raise 1, cores) = 2.
+        peer.set_max_containers("hot", 1)
+        for _ in range(2):
+            peer.submit(
+                Invocation(action="hot", caller="t", submitted_at=loop.now),
+                lambda inv: None,
+            )
+        self._backlog(home, "hot", 8)
+        total = CapacityPlanner.total_containers(
+            [inv.snapshot() for inv in (home, peer)]
+        )
+        planner = CapacityPlanner(budget=total, queue_high=4, min_idle_seconds=0.0)
+        planner.plan([home, peer], loop.now)
+        # Nothing was seeded (no room on the peer) — and, crucially, the
+        # idle cold container was not drained to fund a seed that could
+        # never land.
+        assert planner.prewarms == 0
+        assert planner.drains == 0
+        assert peer.drains == 0
+        assert len(peer.idle_pool("cold")) == 1
+
+    def test_no_livelock_when_everything_is_busy_at_the_boundary(
+        self, small_python_profile
+    ):
+        """The final drain loop must terminate when the cluster sits at
+        (or above) budget but every container is busy or protected."""
+        loop = EventLoop()
+        spec = _action(small_python_profile, "busy")
+        invoker = Invoker(loop, cores=1)
+        invoker.deploy(spec, containers=1, max_containers=2)
+        self._backlog(invoker, "busy", 3)  # container mid-request + queue
+        total = CapacityPlanner.total_containers([invoker.snapshot()])
+        planner = CapacityPlanner(budget=1, queue_high=1, min_idle_seconds=0.0)
+        assert total >= planner.budget
+        decisions = planner.plan([invoker], loop.now)  # must return, not spin
+        assert all(d.kind != "drain" for d in decisions)
+        loop.run()  # the queued work still completes untouched
+
+
 class TestControlPlaneWiring:
     def test_timer_arms_on_submit_and_stands_down_idle(self, small_python_profile):
         cluster = FaaSCluster(

@@ -1,0 +1,155 @@
+"""Regression tests for the arrival-generator edge-case guards.
+
+Two failure modes the satellites pinned down:
+
+* :func:`azure_diurnal_arrivals` (and the stationary generator) draw
+  exponential gaps at each action's rate — a per-action rate that
+  underflows to zero (deep Zipf tail under a steep skew, or a vanishing
+  ``mean_rps``) must contribute no arrivals rather than divide by zero
+  inside ``expovariate`` or emit a single arrival at an astronomical
+  offset; a trace that ends up empty must raise a clear
+  :class:`PlatformError`, never return silently empty.
+* :func:`load_azure_trace_csv` must refuse malformed input (non-numeric,
+  non-finite, or negative counts; truncated rows) with a
+  :class:`PlatformError` naming the row — not a bare ``ValueError`` /
+  ``OverflowError`` / ``IndexError`` from the parsing internals.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.faas.loadgen import (
+    azure_diurnal_arrivals,
+    azure_functions_arrivals,
+    load_azure_trace_csv,
+)
+
+
+class TestZeroRateGuards:
+    def test_diurnal_underflowed_tail_rates_are_skipped(self):
+        """A steep skew underflows the tail's weights to 0.0 — those
+        actions legitimately produce nothing; the head still arrives."""
+        actions = [f"a{i}" for i in range(40)]
+        offsets, sequence = azure_diurnal_arrivals(
+            actions,
+            duration_seconds=5.0,
+            mean_rps=50.0,
+            rng=random.Random(7),
+            skew=200.0,  # weight of a1 is already ~1e-61; a9 underflows
+        )
+        assert offsets  # the head action still produced arrivals
+        assert set(sequence) == {"a0"}
+        assert all(0.0 <= at <= 5.0 for at in offsets)
+
+    def test_stationary_underflowed_tail_rates_are_skipped(self):
+        offsets, sequence = azure_functions_arrivals(
+            [f"a{i}" for i in range(40)],
+            duration_seconds=5.0,
+            mean_rps=50.0,
+            rng=random.Random(7),
+            skew=200.0,
+        )
+        assert offsets and set(sequence) == {"a0"}
+
+    def test_diurnal_vanishing_rate_raises_clearly(self):
+        """A rate so low nothing arrives raises PlatformError, instead of
+        returning a silently empty trace."""
+        with pytest.raises(PlatformError, match="no arrivals"):
+            azure_diurnal_arrivals(
+                ["only"],
+                duration_seconds=1.0,
+                mean_rps=1e-12,
+                rng=random.Random(3),
+            )
+
+    def test_diurnal_determinism_with_skipped_actions(self):
+        kwargs = dict(
+            duration_seconds=4.0, mean_rps=30.0, skew=150.0,
+            period_seconds=2.0, amplitude=0.8,
+        )
+        first = azure_diurnal_arrivals(
+            ["x", "y", "z"], rng=random.Random(11), **kwargs
+        )
+        second = azure_diurnal_arrivals(
+            ["x", "y", "z"], rng=random.Random(11), **kwargs
+        )
+        assert first == second
+
+
+class TestAzureTraceCsvGuards:
+    HEADER = "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n"
+
+    def _load(self, tmp_path, body, **kwargs):
+        path = tmp_path / "trace.csv"
+        path.write_text(self.HEADER + body)
+        defaults = dict(
+            actions=["act-a", "act-b"],
+            duration_seconds=2.0,
+            rng=random.Random(5),
+        )
+        defaults.update(kwargs)
+        return load_azure_trace_csv(str(path), **defaults)
+
+    def test_well_formed_trace_loads(self, tmp_path):
+        offsets, sequence = self._load(
+            tmp_path, "o1,a1,f1,http,10,20,30\no2,a2,f2,timer,1,2,3\n"
+        )
+        assert offsets == sorted(offsets)
+        assert set(sequence) <= {"act-a", "act-b"}
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(PlatformError, match="is empty"):
+            load_azure_trace_csv(
+                str(path), ["a"], duration_seconds=1.0, rng=random.Random(1)
+            )
+
+    def test_header_only_file_raises(self, tmp_path):
+        with pytest.raises(PlatformError, match="no function rows"):
+            self._load(tmp_path, "")
+
+    def test_blank_rows_are_skipped_not_fatal(self, tmp_path):
+        offsets, _ = self._load(
+            tmp_path, "\n,,,,,,\no1,a1,f1,http,10,20,30\n\n"
+        )
+        assert offsets
+
+    def test_non_numeric_count_raises_platform_error(self, tmp_path):
+        with pytest.raises(PlatformError, match="row 2.*finite numbers"):
+            self._load(tmp_path, "o1,a1,f1,http,10,twenty,30\n")
+
+    def test_infinite_count_raises_platform_error(self, tmp_path):
+        # int(float("inf")) raises OverflowError internally — the caller
+        # must still see a PlatformError naming the row.
+        with pytest.raises(PlatformError, match="row 2.*finite numbers"):
+            self._load(tmp_path, "o1,a1,f1,http,inf,20,30\n")
+
+    def test_nan_count_raises_platform_error(self, tmp_path):
+        with pytest.raises(PlatformError, match="row 2.*finite numbers"):
+            self._load(tmp_path, "o1,a1,f1,http,nan,20,30\n")
+
+    def test_negative_count_raises_platform_error(self, tmp_path):
+        with pytest.raises(PlatformError, match="row 2.*>= 0"):
+            self._load(tmp_path, "o1,a1,f1,http,10,-5,30\n")
+
+    def test_truncated_row_raises_platform_error(self, tmp_path):
+        with pytest.raises(PlatformError, match="row 3"):
+            self._load(tmp_path, "o1,a1,f1,http,10,20,30\no2,a2\n")
+
+    def test_all_zero_counts_raise(self, tmp_path):
+        with pytest.raises(PlatformError, match="no invocations"):
+            self._load(tmp_path, "o1,a1,f1,http,0,0,0\n")
+
+    def test_rescale_to_nothing_raises(self, tmp_path):
+        with pytest.raises(PlatformError, match="no arrivals"):
+            self._load(
+                tmp_path,
+                "o1,a1,f1,http,10,20,30\n",
+                mean_rps=1e-12,
+                rng=random.Random(8),
+            )
