@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate a fresh perf-trace run against the committed baseline.
+
+Usage::
+
+    python scripts/check_perf_regression.py CANDIDATE.json [BASELINE.json]
+
+``BASELINE.json`` defaults to ``BENCH_perf.json`` at the repo root — the
+tracked full-scale numbers ``python -m repro.cli perf-trace`` wrote.  The
+candidate is typically CI's quick run (``perf-trace --quick``); the gate
+compares **per-mode throughput** (invocations simulated per wall-clock
+second).  Sketch-mode per-tick cost is bounded, so its throughput is
+effectively scale-free and the comparison is direct.  Exact-mode cost
+*grows* with run length (windows keep filling toward the five-minute
+horizon), so the full-scale baseline is a lower bound for any shorter
+run — the floor is conservative in the safe direction.
+
+The check fails (exit 1) when any shared mode's throughput drops more
+than ``REPRO_PERF_TOLERANCE`` (default 0.25, i.e. 25 %) below baseline,
+or when the candidate's fidelity cross-checks (equal goodput and
+cold-start counts across modes, p99 relative error under 1 %) no longer
+hold.  CI machines are noisy and heterogeneous; the generous tolerance
+catches real structural regressions (an accidental per-sample copy, a
+heap that stops compacting) without flaking on scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load(path: Path) -> dict:
+    with path.open() as handle:
+        report = json.load(handle)
+    if report.get("benchmark") != "perf-trace" or "modes" not in report:
+        raise SystemExit(f"{path} is not a perf-trace report")
+    return report
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    candidate_path = Path(argv[0])
+    baseline_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_BASELINE
+    tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_TOLERANCE))
+
+    candidate = load(candidate_path)
+    baseline = load(baseline_path)
+
+    failures: list[str] = []
+
+    shared_modes = sorted(set(candidate["modes"]) & set(baseline["modes"]))
+    if not shared_modes:
+        failures.append("candidate and baseline share no metrics modes")
+    for mode in shared_modes:
+        got = candidate["modes"][mode]["invocations_per_second"]
+        want = baseline["modes"][mode]["invocations_per_second"]
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{mode:>7}: {got:10,.0f} inv/s vs baseline {want:10,.0f} "
+            f"(floor {floor:10,.0f}) {verdict}"
+        )
+        if got < floor:
+            failures.append(
+                f"{mode} throughput {got:,.0f} inv/s is more than "
+                f"{tolerance:.0%} below the baseline {want:,.0f} inv/s"
+            )
+
+    # Fidelity must hold at any scale — a fast-but-wrong sketch is a
+    # regression no tolerance excuses.
+    if candidate.get("equal_goodput") is False:
+        failures.append("exact and sketch goodput diverged")
+    if candidate.get("equal_cold_starts") is False:
+        failures.append("exact and sketch cold-start counts diverged")
+    p99_err = candidate.get("p99_relative_error")
+    if p99_err is not None and p99_err >= 0.01:
+        failures.append(f"sketch p99 relative error {p99_err:.4f} >= 1%")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf-trace throughput within tolerance of the tracked baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,6 +15,9 @@ Usage (after installing the package)::
     python -m repro.cli tenant-fairness [--benchmark NAME] [--quota-factor 1.2]
     python -m repro.cli slo-control [--benchmark NAME]
                                     [--parts quota capacity forecast]
+    python -m repro.cli perf-trace [--invocations N] [--quick]
+                                   [--modes exact sketch]
+                                   [--output BENCH_perf.json]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -24,6 +27,7 @@ this CLI covers the quick, interactive entry points.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
@@ -35,12 +39,18 @@ from repro.analysis.experiments import (
     measure_latency_under_load,
     measure_restores,
     run_lifecycle,
+    run_perf_trace,
     run_slo_control,
     run_tenant_fairness,
 )
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
-from repro.config import ADMISSION_POLICIES, PLANNER_KINDS, SCHEDULER_POLICIES
+from repro.config import (
+    ADMISSION_POLICIES,
+    METRICS_MODES,
+    PLANNER_KINDS,
+    SCHEDULER_POLICIES,
+)
 from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
 
 
@@ -379,6 +389,54 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_trace(args: argparse.Namespace) -> int:
+    """Replay the million-request trace and persist the perf baseline."""
+    invocations = 100_000 if args.quick else args.invocations
+    report = run_perf_trace(
+        invocations=invocations,
+        seed=args.seed,
+        processes=args.processes,
+        modes=tuple(args.modes),
+    )
+    report["quick"] = bool(args.quick)
+    rows = [
+        [
+            summary["mode"],
+            str(summary["arrivals"]),
+            f"{summary['wall_seconds']:.1f}",
+            f"{summary['invocations_per_second']:.0f}",
+            f"{summary['max_rss_mb']:.0f}",
+            f"{summary['goodput_fraction'] * 100:.2f}%",
+            str(summary["cold_starts"]),
+            f"{summary['p99_ms']:.1f}",
+        ]
+        for summary in report["modes"].values()
+    ]
+    print(render_table(
+        ["metrics mode", "arrivals", "wall (s)", "arrivals/s",
+         "peak RSS (MB)", "goodput", "cold starts", "p99 (ms)"],
+        rows,
+        title=(
+            f"perf-trace — {invocations:,} requested arrivals over a "
+            "3-cycle diurnal trace (each mode in its own process)"
+        ),
+    ))
+    if "speedup_sketch_vs_exact" in report:
+        print(
+            f"sketch vs exact: {report['speedup_sketch_vs_exact']:.2f}x faster, "
+            f"{report['rss_ratio_exact_vs_sketch']:.2f}x smaller peak RSS, "
+            f"p99 relative error {report['p99_relative_error'] * 100:.3f}% "
+            f"(behaviour identical: goodput equal={report['equal_goodput']}, "
+            f"cold starts equal={report['equal_cold_starts']})"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -553,6 +611,30 @@ def build_parser() -> argparse.ArgumentParser:
                                      "part's duration (cycle 0 builds the "
                                      "forecaster's history)")
     control_parser.set_defaults(func=cmd_slo_control)
+
+    perf_parser = subparsers.add_parser(
+        "perf-trace",
+        help="replay a multi-day Azure-shaped trace in exact vs sketch "
+             "metrics mode and persist the tracked perf baseline",
+    )
+    perf_parser.add_argument("--invocations", type=int, default=1_000_000,
+                             help="arrivals in the synthetic trace "
+                                  "(default: 1,000,000)")
+    perf_parser.add_argument("--quick", action="store_true",
+                             help="CI smoke scale: 100,000 arrivals")
+    perf_parser.add_argument("--seed", type=int, default=20230501)
+    perf_parser.add_argument("--processes", type=int, default=1,
+                             help="how many mode runs to execute "
+                                  "concurrently (each always gets its own "
+                                  "process; >1 trades timing fidelity for "
+                                  "wall-clock)")
+    perf_parser.add_argument("--modes", nargs="+", choices=METRICS_MODES,
+                             default=list(METRICS_MODES),
+                             help="metrics modes to measure")
+    perf_parser.add_argument("--output", default="BENCH_perf.json",
+                             help="where to write the JSON baseline "
+                                  "('' disables; default: BENCH_perf.json)")
+    perf_parser.set_defaults(func=cmd_perf_trace)
     return parser
 
 

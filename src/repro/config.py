@@ -59,6 +59,15 @@ ADMISSION_POLICIES = ("fifo", "wfq")
 #: (:class:`~repro.faas.controlplane.forecast.PredictivePlanner`).
 PLANNER_KINDS = ("reactive", "predictive")
 
+#: Metrics collection modes.  ``exact`` retains every finished invocation
+#: (memory O(run), every statistic exact — the seed behaviour and the
+#: right choice for paper-fidelity experiments).  ``sketch`` folds
+#: invocations into ring-buffered time-bucket sketches (memory
+#: O(buckets); counts and mean/std/min/max exact, percentiles within the
+#: sketch's documented relative error) so million-invocation traces run
+#: in bounded memory.  See :mod:`repro.faas.metrics`.
+METRICS_MODES = ("exact", "sketch")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -176,6 +185,19 @@ class SimulationConfig:
     #: action's calibrated boot time — a safety margin for workloads
     #: whose ramps outrun one boot time.
     forecast_horizon_margin_seconds: float = 0.0
+    #: How the cluster's metrics collectors store finished invocations:
+    #: ``"exact"`` (every invocation retained, the seed behaviour) or
+    #: ``"sketch"`` (ring-buffered time-bucket sketches — bounded memory
+    #: for million-invocation traces; see :mod:`repro.faas.metrics`).
+    metrics_mode: str = "exact"
+    #: Width (virtual seconds) of one sketch-mode time bucket.  Keep it
+    #: equal to (or an integer divisor of) ``control_interval_seconds``
+    #: so SLO-monitor windows align with bucket edges and sketch-mode
+    #: windowed counts match exact mode exactly.
+    metrics_bucket_seconds: float = 0.25
+    #: Live sketch-mode buckets retained at full time resolution before
+    #: the oldest fold into the run-lifetime archive.
+    metrics_max_buckets: int = 4096
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -247,6 +269,15 @@ class SimulationConfig:
                 )
             if self.forecast_period_seconds <= 0:
                 raise ValueError("forecast_period_seconds must be positive (or None)")
+        if self.metrics_mode not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics_mode {self.metrics_mode!r}; "
+                f"choose one of {METRICS_MODES}"
+            )
+        if self.metrics_bucket_seconds <= 0:
+            raise ValueError("metrics_bucket_seconds must be positive")
+        if self.metrics_max_buckets < 1:
+            raise ValueError("metrics_max_buckets must be >= 1")
         if self.forecast_min_history_seconds < 0:
             raise ValueError("forecast_min_history_seconds must be >= 0")
         if self.forecast_horizon_margin_seconds < 0:

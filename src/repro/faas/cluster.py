@@ -119,7 +119,7 @@ class FaaSCluster:
             platform_jitter_seconds=self.config.platform_jitter_seconds,
             rng=self.rng_streams.stream("controller"),
         )
-        self.metrics = MetricsCollector()
+        self.metrics = self._new_collector()
         self.per_action_metrics: Dict[str, MetricsCollector] = {}
         self._specs: Dict[str, ActionSpec] = {}
         #: The SLO-driven control loop (None unless ``config.control_plane``).
@@ -139,6 +139,14 @@ class FaaSCluster:
             )
             if self.config.control_plane
             else None
+        )
+
+    def _new_collector(self) -> MetricsCollector:
+        """A metrics collector shaped by the config's metrics knobs."""
+        return MetricsCollector(
+            self.config.metrics_mode,
+            bucket_seconds=self.config.metrics_bucket_seconds,
+            max_buckets=self.config.metrics_max_buckets,
         )
 
     # ------------------------------------------------------------------
@@ -170,7 +178,7 @@ class FaaSCluster:
             raise PlatformError("max_containers must be >= the pre-warmed count")
         deployed = self.scheduler.deploy(spec, containers=count, max_containers=ceiling)
         self._specs[spec.name] = spec
-        self.per_action_metrics[spec.name] = MetricsCollector()
+        self.per_action_metrics[spec.name] = self._new_collector()
         # The home invoker just booted the pre-warmed containers, so the
         # measured init time is available; the service-time denominator
         # is the same estimate the load-sizing heuristics use.

@@ -76,6 +76,13 @@ from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 
 CompletionCallback = Callable[[Invocation], None]
 
+#: Cap on retained per-invoker cold-start/cold-dispatch timestamps.  The
+#: stamps feed windowed attribution (e.g. "cold starts on the rising
+#: diurnal edge"), which only ever looks at the recent past; keeping the
+#: newest 64 Ki bounds invoker memory on million-invocation traces while
+#: leaving every experiment in this repo (≪ the cap) byte-identical.
+COLD_EVENT_SAMPLE_CAP = 65536
+
 #: How an invoker builds per-action admission queues: a registry name
 #: (``"fifo"``/``"wfq"``) or a zero-argument factory for custom policies
 #: (e.g. a :class:`~repro.faas.admission.WeightedFairQueue` with weights).
@@ -255,11 +262,15 @@ class Invoker:
         #: When each on-demand boot was requested (parallel to
         #: ``cold_starts``) — lets experiments attribute cold-start storms
         #: to windows of the run (e.g. the rising edge of a diurnal cycle).
-        self.cold_start_times: List[float] = []
+        #: Bounded: only the most recent ``COLD_EVENT_SAMPLE_CAP`` stamps
+        #: are retained so million-invocation traces stay O(1) per
+        #: invoker; the scalar ``cold_starts`` counter is never truncated.
+        self.cold_start_times: Deque[float] = deque(maxlen=COLD_EVENT_SAMPLE_CAP)
         #: When each *cold dispatch* happened: a request served by a
         #: container whose boot sat on its critical path (the complement
-        #: of ``warm_hits``, time-resolved).
-        self.cold_dispatch_times: List[float] = []
+        #: of ``warm_hits``, time-resolved).  Bounded like
+        #: ``cold_start_times``.
+        self.cold_dispatch_times: Deque[float] = deque(maxlen=COLD_EVENT_SAMPLE_CAP)
         #: Backlogged boots cancelled before they reached a core (their
         #: demand disappeared, e.g. the queued work was stolen away).
         self.boots_cancelled = 0

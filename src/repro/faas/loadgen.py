@@ -37,6 +37,7 @@ from repro.errors import PlatformError
 from repro.faas.cluster import FaaSCluster
 from repro.faas.metrics import LatencyStats
 from repro.faas.request import Invocation, InvocationStatus
+from repro.faas.sketch import LatencySketch
 
 
 def _default_callers(count: int = 8) -> Callable[[int], str]:
@@ -681,6 +682,23 @@ class OpenLoopClient:
     measured inside the post-``warmup_seconds`` window.  After the last
     arrival the simulation drains so in-flight requests finish, but
     completions past the deadline do not count toward ``achieved_rps``.
+
+    Two opt-in knobs keep million-arrival traces affordable:
+
+    * ``keep_samples=False`` stops the client retaining finished
+      :class:`~repro.faas.request.Invocation` objects (``completed``/
+      ``rejected``/``throttled`` stay empty) — outcomes are counted and
+      in-window latencies folded into a bounded
+      :class:`~repro.faas.sketch.LatencySketch`, so the returned
+      :class:`OpenLoopResult` is unchanged except that its ``e2e``
+      percentiles carry the sketch's documented relative error
+      (count/mean/std/min/max stay exact).
+    * ``lazy_trace=True`` schedules trace arrivals one-ahead (each firing
+      chains the next) instead of pushing the entire trace into the event
+      heap up front, keeping the heap O(in-flight) rather than O(trace).
+      Arrival *times* are identical; only tie-breaking order against
+      same-instant events differs from the eager default, which is why it
+      is opt-in.
     """
 
     def __init__(
@@ -696,6 +714,8 @@ class OpenLoopClient:
         payload: Optional[bytes] = None,
         caller_for: Optional[Callable[[int], str]] = None,
         rng: Optional[random.Random] = None,
+        keep_samples: bool = True,
+        lazy_trace: bool = False,
     ) -> None:
         self.actions = [actions] if isinstance(actions, str) else list(actions)
         if not self.actions:
@@ -750,10 +770,21 @@ class OpenLoopClient:
             # arrivals never perturb any other subsystem's sequence.
             self._streams = platform.rng_streams
             self.rng = self._streams.stream("open-loop")
+        self.keep_samples = keep_samples
+        self.lazy_trace = lazy_trace
+        if lazy_trace and trace is None:
+            raise PlatformError("lazy_trace requires an arrival trace")
         self.completed: List[Invocation] = []
         self.rejected: List[Invocation] = []
         self.throttled: List[Invocation] = []
         self._issued = 0
+        # Lean-mode accumulators (used when keep_samples is False).
+        self._n_completed = 0
+        self._n_rejected = 0
+        self._n_throttled = 0
+        self._window_completions = 0
+        self._window_e2e = LatencySketch()
+        self._window_queue_seconds = 0.0
 
     def _arrival_gap(self) -> float:
         """One exponential inter-arrival gap of the Poisson process."""
@@ -775,6 +806,24 @@ class OpenLoopClient:
             else:
                 self.completed.append(invocation)
 
+        def on_complete_lean(invocation: Invocation) -> None:
+            status = invocation.status
+            if status is InvocationStatus.REJECTED:
+                self._n_rejected += 1
+            elif status is InvocationStatus.THROTTLED:
+                self._n_throttled += 1
+            else:
+                self._n_completed += 1
+                if (
+                    status is InvocationStatus.COMPLETED
+                    and window_start <= invocation.completed_at <= deadline
+                ):
+                    self._window_completions += 1
+                    self._window_e2e.add(invocation.e2e_seconds)
+                    self._window_queue_seconds += invocation.queue_seconds
+
+        handler = on_complete if self.keep_samples else on_complete_lean
+
         def issue_one(action: Optional[str] = None) -> None:
             index = self._issued
             self._issued += 1
@@ -787,23 +836,47 @@ class OpenLoopClient:
                 action,
                 self.payload,
                 caller=self.caller_for(index),
-                on_complete=on_complete,
+                on_complete=handler,
             )
 
         if self.trace is not None:
-            for position, offset in enumerate(self.trace):
-                if offset > self.duration_seconds:
-                    break
-                action = (
-                    self.action_sequence[position]
-                    if self.action_sequence is not None
-                    else None
-                )
-                self.platform.loop.schedule_at(
-                    start + offset,
-                    lambda action=action: issue_one(action),
-                    label="open-loop arrival",
-                )
+            cutoff = bisect.bisect_right(self.trace, self.duration_seconds)
+            if self.lazy_trace:
+                # Chain arrivals one-ahead: the heap holds a single
+                # arrival event at a time instead of the whole trace.
+                def issue_from(position: int) -> None:
+                    action = (
+                        self.action_sequence[position]
+                        if self.action_sequence is not None
+                        else None
+                    )
+                    issue_one(action)
+                    nxt = position + 1
+                    if nxt < cutoff:
+                        self.platform.loop.schedule_at(
+                            start + self.trace[nxt],
+                            lambda: issue_from(nxt),
+                            label="open-loop arrival",
+                        )
+
+                if cutoff > 0:
+                    self.platform.loop.schedule_at(
+                        start + self.trace[0],
+                        lambda: issue_from(0),
+                        label="open-loop arrival",
+                    )
+            else:
+                for position in range(cutoff):
+                    action = (
+                        self.action_sequence[position]
+                        if self.action_sequence is not None
+                        else None
+                    )
+                    self.platform.loop.schedule_at(
+                        start + self.trace[position],
+                        lambda action=action: issue_one(action),
+                        label="open-loop arrival",
+                    )
         else:
 
             def arrive() -> None:
@@ -819,20 +892,38 @@ class OpenLoopClient:
 
         self.platform.run()
 
+        window = self.duration_seconds - self.warmup_seconds
+        offered = (
+            self.rate_rps
+            if self.rate_rps is not None
+            else self._issued / self.duration_seconds
+        )
+        if not self.keep_samples:
+            in_window_count = self._window_completions
+            return OpenLoopResult(
+                offered_rps=offered,
+                duration_seconds=self.duration_seconds,
+                window_seconds=window,
+                issued=self._issued,
+                completed=self._n_completed,
+                rejected=self._n_rejected,
+                throttled=self._n_throttled,
+                achieved_rps=in_window_count / window,
+                e2e=self._window_e2e.stats() if in_window_count else None,
+                queue_seconds_mean=(
+                    self._window_queue_seconds / in_window_count
+                    if in_window_count
+                    else 0.0
+                ),
+            )
         in_window = [
             inv
             for inv in self.completed
             if inv.status is InvocationStatus.COMPLETED
             and window_start <= inv.completed_at <= deadline
         ]
-        window = self.duration_seconds - self.warmup_seconds
         latencies = [inv.e2e_seconds for inv in in_window]
         queue_times = [inv.queue_seconds for inv in in_window]
-        offered = (
-            self.rate_rps
-            if self.rate_rps is not None
-            else self._issued / self.duration_seconds
-        )
         return OpenLoopResult(
             offered_rps=offered,
             duration_seconds=self.duration_seconds,

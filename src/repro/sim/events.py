@@ -10,6 +10,16 @@ tracking) is computed synchronously with cost models; the event loop only
 captures the *concurrency structure* of the platform — which requests wait on
 which containers, and whether restoration overlaps idle time (low load) or
 delays the next request (high load).
+
+Cancellation is lazy (an event is flagged and skipped when popped), which
+is O(1) but lets churny cancel/re-schedule patterns — keep-alive eviction
+timers, control-plane stand-downs — accumulate dead entries in the heap
+for the lifetime of a long run.  The loop therefore counts its cancelled
+residents and *compacts* the heap whenever they outnumber the live ones
+(:data:`COMPACT_MIN_CANCELLED` guards against thrashing on tiny queues),
+keeping memory proportional to live events.  :attr:`EventLoop.pending_live`
+exposes the live count so idle-detection heuristics do not see phantom
+load from corpses.
 """
 
 from __future__ import annotations
@@ -17,18 +27,25 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import EventLoopError
 from repro.sim.clock import VirtualClock
 
+#: Compaction never triggers below this many cancelled events: rebuilding
+#: a 10-entry heap to reclaim 6 corpses costs more than it saves.
+COMPACT_MIN_CANCELLED = 32
 
-@dataclass(order=True)
+
+@dataclass
 class Event:
     """A scheduled callback.
 
     Events order by ``(time, sequence)`` so simultaneous events fire in the
-    order they were scheduled, which keeps runs deterministic.
+    order they were scheduled, which keeps runs deterministic.  ``__lt__``
+    is hand-written rather than dataclass-generated: the heap compares
+    events millions of times per long run, and comparing two fields
+    directly avoids building a pair of tuples per comparison.
     """
 
     time: float
@@ -36,19 +53,38 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: True once the loop has removed the event from its heap (fired or
+    #: discarded).  Guards the cancelled-event accounting: cancelling an
+    #: event that is no longer queued must not count against the heap.
+    popped: bool = field(default=False, compare=False)
+    #: Back-reference for cancellation accounting (None in unit tests
+    #: that construct bare events).
+    loop: Optional["EventLoop"] = field(default=None, compare=False, repr=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.loop is not None and not self.popped:
+            self.loop._note_cancelled()
 
 
 class RecurringTimer:
     """A cancellable timer that re-arms itself after every firing.
 
-    Each firing schedules a fresh :class:`Event` through the normal
+    Each firing schedules a fresh heap entry through the normal
     ``(time, sequence)`` path, so recurring timers interleave with one-shot
     events deterministically: two runs that create the same timers in the
-    same order produce identical execution traces.
+    same order produce identical execution traces.  As an allocation
+    fast path, the timer *reuses* its just-fired :class:`Event` object for
+    the next arming (same ordering semantics — a fresh sequence number is
+    drawn) instead of constructing a new one per tick.
 
     The timer stays armed until :meth:`cancel` is called (the callback may
     cancel its own timer).  Because an armed timer always has one pending
@@ -80,7 +116,13 @@ class RecurringTimer:
         return not self._cancelled
 
     def _arm(self) -> None:
-        self._event = self.loop.schedule(self.interval, self._fire, label=self.label)
+        event = self._event
+        if event is not None and event.popped and not event.cancelled:
+            # Fast path: the previous firing's event is out of the heap
+            # and nobody else holds it — recycle it for the next tick.
+            self._event = self.loop.reschedule(event, self.interval)
+        else:
+            self._event = self.loop.schedule(self.interval, self._fire, label=self.label)
 
     def _fire(self) -> None:
         if self._cancelled:
@@ -106,6 +148,8 @@ class EventLoop:
         self._sequence = itertools.count()
         self._running = False
         self._executed_events = 0
+        self._cancelled_in_queue = 0
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -116,6 +160,16 @@ class EventLoop:
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) events still queued."""
         return len(self._queue)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Excludes lazily-cancelled corpses still awaiting their pop (or the
+        next compaction), so idle-detection heuristics and tests see real
+        load rather than phantom entries.
+        """
+        return len(self._queue) - self._cancelled_in_queue
 
     @property
     def executed_events(self) -> int:
@@ -134,7 +188,32 @@ class EventLoop:
             raise EventLoopError(
                 f"cannot schedule event at {time} before current time {self.clock.now}"
             )
-        event = Event(time=time, sequence=next(self._sequence), callback=callback, label=label)
+        event = Event(
+            time=time,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+            loop=self,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-queue an already-popped event ``delay`` seconds from now.
+
+        The allocation fast path for recurring timers: the event object is
+        recycled with a fresh ``(time, sequence)`` pair, so ordering and
+        determinism are identical to scheduling a brand-new event.
+        """
+        if delay < 0:
+            raise EventLoopError(f"cannot schedule event in the past (delay={delay})")
+        if not event.popped:
+            raise EventLoopError("cannot reschedule an event that is still queued")
+        event.time = self.clock.now + delay
+        event.sequence = next(self._sequence)
+        event.cancelled = False
+        event.popped = False
+        event.loop = self
         heapq.heappush(self._queue, event)
         return event
 
@@ -148,6 +227,25 @@ class EventLoop:
         """
         return RecurringTimer(self, interval, callback, label=label)
 
+    def _note_cancelled(self) -> None:
+        """Account a newly-cancelled queued event; compact if corpses win."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled event and re-heapify the survivors."""
+        for event in self._queue:
+            if event.cancelled:
+                event.popped = True
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
+
     def step(self) -> bool:
         """Execute the next pending event.
 
@@ -156,7 +254,9 @@ class EventLoop:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self.clock.advance_to(event.time)
             self._executed_events += 1
@@ -195,5 +295,7 @@ class EventLoop:
     def _peek_next(self) -> Optional[Event]:
         """Return the next non-cancelled event without removing it."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            corpse = heapq.heappop(self._queue)
+            corpse.popped = True
+            self._cancelled_in_queue -= 1
         return self._queue[0] if self._queue else None

@@ -1,0 +1,259 @@
+"""Sketch-mode ``MetricsCollector``: bounded memory, exact-parity windows.
+
+The bounded mode must be a drop-in replacement for the control plane's
+whole signal surface — ``window``/``by_caller``/``e2e_stats``/counters —
+while holding O(buckets) state instead of O(run).  These tests pin:
+
+* window/by_caller parity with exact mode when window edges sit on
+  bucket boundaries (the control-loop case — ticks are multiples of the
+  bucket width);
+* counters staying exact (they are scalars, not sketched);
+* the retention archive absorbing evicted buckets losslessly for
+  whole-run queries;
+* sample-level accessors failing loudly instead of silently returning
+  nothing;
+* lossless ``merge_from`` (the multi-seed fan-out reduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.faas.metrics import MetricsCollector
+from repro.faas.request import Invocation, InvocationStatus
+
+
+def _finished(caller: str, at: float, *, status=InvocationStatus.COMPLETED,
+              latency: float = 0.010) -> Invocation:
+    inv = Invocation(action="act", caller=caller, submitted_at=at - latency)
+    if status is InvocationStatus.COMPLETED:
+        inv.mark_completed(at, {})
+    elif status is InvocationStatus.REJECTED:
+        inv.mark_rejected(at)
+    elif status is InvocationStatus.THROTTLED:
+        inv.mark_throttled(at)
+    else:
+        inv.mark_failed(at, "boom")
+    return inv
+
+
+def _pair(**kwargs):
+    """An exact and a sketch collector fed identically."""
+    exact = MetricsCollector()
+    sketch = MetricsCollector("sketch", **kwargs)
+    return exact, sketch
+
+
+def _feed(collectors, invocations):
+    for inv in invocations:
+        for collector in collectors:
+            collector.record(inv)
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlatformError):
+            MetricsCollector("approximate")
+
+    def test_bad_bucket_shape_rejected(self):
+        with pytest.raises(PlatformError):
+            MetricsCollector("sketch", bucket_seconds=0.0)
+        with pytest.raises(PlatformError):
+            MetricsCollector("sketch", max_buckets=0)
+
+    def test_sample_accessors_raise_in_sketch_mode(self):
+        collector = MetricsCollector("sketch")
+        collector.record(_finished("t", 1.0))
+        for surface in ("completed", "failed", "rejected", "throttled"):
+            with pytest.raises(PlatformError):
+                getattr(collector, surface)
+
+    def test_skip_warmup_requires_samples(self):
+        collector = MetricsCollector("sketch")
+        collector.record(_finished("t", 1.0))
+        with pytest.raises(PlatformError):
+            collector.e2e_stats(skip_warmup=1)
+        # skip_warmup=0 is the control plane's call shape and works.
+        assert collector.e2e_stats().count == 1
+
+    def test_merge_from_requires_matching_shape(self):
+        sketch = MetricsCollector("sketch", bucket_seconds=0.25)
+        with pytest.raises(PlatformError):
+            sketch.merge_from(MetricsCollector())
+        with pytest.raises(PlatformError):
+            sketch.merge_from(MetricsCollector("sketch", bucket_seconds=0.5))
+
+
+class TestExactParity:
+    def test_counters_and_rates_match_exact(self):
+        exact, sketch = _pair()
+        stream = [
+            _finished("a", 0.1),
+            _finished("b", 0.2, status=InvocationStatus.REJECTED),
+            _finished("a", 0.3, status=InvocationStatus.THROTTLED),
+            _finished("b", 0.4, status=InvocationStatus.FAILED),
+            _finished("a", 0.6),
+        ]
+        _feed((exact, sketch), stream)
+        for name in ("num_completed", "num_failed", "num_rejected",
+                     "num_throttled", "num_recorded"):
+            assert getattr(sketch, name) == getattr(exact, name), name
+        assert sketch.rejection_rate == exact.rejection_rate
+        assert sketch.throttle_rate == exact.throttle_rate
+
+    def test_control_loop_window_counts_match_exact(self):
+        # The control-loop shape: window edges at multiples of the bucket
+        # width and ``end`` = now (nothing recorded later).  That is the
+        # regime where the quantised sketch window covers exactly the
+        # exact-mode closed interval.
+        exact, sketch = _pair(bucket_seconds=0.25)
+        stream = [_finished("t", round(0.05 * i, 2)) for i in range(1, 80)]
+        _feed((exact, sketch), stream)
+        now = 3.95
+        for start in (0.0, 0.25, 1.5, 3.75):
+            got = sketch.window(start, now)
+            want = exact.window(start, now)
+            assert got.num_completed == want.num_completed, start
+        assert (
+            sketch.window(2.0, None).num_completed
+            == exact.window(2.0, None).num_completed
+        )
+
+    def test_quantisation_overshoot_is_bounded_by_one_bucket(self):
+        # With samples *after* the window end, the sketch window may
+        # include stragglers from the end bucket — but never anything
+        # outside ``[floor(start), end + bucket)``.  Pinned so the
+        # documented quantisation cannot silently widen.
+        exact, sketch = _pair(bucket_seconds=0.25)
+        stream = [_finished("t", round(0.05 * i, 2)) for i in range(1, 80)]
+        _feed((exact, sketch), stream)
+        got = sketch.window(0.25, 1.0).num_completed
+        exact_closed = exact.window(0.25, 1.0).num_completed
+        exact_widened = exact.window(0.25, 1.0 + 0.25 - 1e-9).num_completed
+        assert exact_closed <= got <= exact_widened
+
+    def test_windowed_stats_match_exact_within_bound(self):
+        exact, sketch = _pair(bucket_seconds=0.25)
+        stream = [
+            _finished("t", 0.25 * i, latency=0.005 + 0.001 * (i % 7))
+            for i in range(1, 41)
+        ]
+        _feed((exact, sketch), stream)
+        got = sketch.window(2.0, 8.0).e2e_stats()
+        want = exact.window(2.0, 8.0).e2e_stats()
+        assert got.count == want.count
+        assert got.mean == pytest.approx(want.mean)
+        assert got.minimum == want.minimum
+        assert got.maximum == want.maximum
+        alpha = sketch.relative_accuracy
+        assert abs(got.p99 - want.p99) <= alpha * want.p99 * 1.0001
+        assert abs(got.median - want.median) <= alpha * want.median * 1.0001
+
+    def test_by_caller_matches_exact_per_tenant(self):
+        exact, sketch = _pair(bucket_seconds=0.25)
+        stream = [
+            _finished(f"tenant-{i % 3}", 0.25 * i,
+                      status=(InvocationStatus.REJECTED if i % 5 == 0
+                              else InvocationStatus.COMPLETED))
+            for i in range(1, 61)
+        ]
+        _feed((exact, sketch), stream)
+        got = sketch.by_caller(since=5.0, until=12.0)
+        want = exact.by_caller(since=5.0, until=12.0)
+        assert set(got) == set(want)
+        for tenant in want:
+            assert got[tenant].num_completed == want[tenant].num_completed
+            assert got[tenant].num_rejected == want[tenant].num_rejected
+            if want[tenant].num_completed:
+                assert got[tenant].e2e_stats().mean == pytest.approx(
+                    want[tenant].e2e_stats().mean
+                )
+
+    def test_by_caller_unwindowed_covers_whole_run(self):
+        exact, sketch = _pair()
+        stream = [_finished(f"t{i % 2}", 0.1 * i) for i in range(1, 30)]
+        _feed((exact, sketch), stream)
+        got = sketch.by_caller()
+        want = exact.by_caller()
+        assert {t: c.num_completed for t, c in got.items()} == {
+            t: c.num_completed for t, c in want.items()
+        }
+
+    def test_throughput_matches_exact(self):
+        exact, sketch = _pair(bucket_seconds=0.5)
+        stream = [_finished("t", 0.5 * i) for i in range(1, 21)]
+        _feed((exact, sketch), stream)
+        assert sketch.throughput(2.0, 8.0) == exact.throughput(2.0, 8.0)
+        assert sketch.throughput(0.0, 10.0) == exact.throughput(0.0, 10.0)
+
+    def test_invoker_stats_parity(self):
+        exact, sketch = _pair()
+        stream = [_finished("t", 0.3 * i) for i in range(1, 25)]
+        _feed((exact, sketch), stream)
+        got, want = sketch.invoker_stats(), exact.invoker_stats()
+        assert got.count == want.count
+        assert got.mean == pytest.approx(want.mean)
+
+
+class TestBoundedMemory:
+    def test_live_buckets_never_exceed_cap(self):
+        collector = MetricsCollector("sketch", bucket_seconds=1.0, max_buckets=8)
+        for i in range(100):
+            collector.record(_finished("t", float(i) + 0.5))
+        assert len(collector._buckets) <= 8
+        # Nothing was lost to the cap: the archive holds the history.
+        assert collector.num_completed == 100
+        assert collector.e2e_stats().count == 100
+
+    def test_windows_see_only_live_buckets(self):
+        collector = MetricsCollector("sketch", bucket_seconds=1.0, max_buckets=4)
+        for i in range(20):
+            collector.record(_finished("t", float(i) + 0.5))
+        # The last 4 seconds are live; a window over them is exact.
+        assert collector.window(16.0, 20.0).num_completed == 4
+        # A window reaching past the retention horizon sees only what is
+        # still live (documented), not the archived history.
+        assert collector.window(0.0, 20.0).num_completed == 4
+
+    def test_late_stragglers_fold_into_the_archive(self):
+        collector = MetricsCollector("sketch", bucket_seconds=1.0, max_buckets=4)
+        for i in range(10):
+            collector.record(_finished("t", float(i) + 0.5))
+        # Bucket 0 has been archived; a record landing there must not
+        # resurrect it (which would breach the cap and unsort history).
+        collector.record(_finished("t", 0.25))
+        assert len(collector._buckets) <= 4
+        assert collector.num_completed == 11
+        assert collector.e2e_stats().count == 11
+
+    def test_state_is_independent_of_sample_count(self):
+        small = MetricsCollector("sketch", bucket_seconds=1.0, max_buckets=16)
+        big = MetricsCollector("sketch", bucket_seconds=1.0, max_buckets=16)
+        for i in range(100):
+            small.record(_finished("t", (i % 10) + 0.5))
+        for i in range(10_000):
+            big.record(_finished("t", (i % 10) + 0.5))
+        assert len(big._buckets) == len(small._buckets)
+        assert big.num_completed == 10_000
+
+
+class TestMergeFrom:
+    def test_sketch_merge_is_lossless(self):
+        left = MetricsCollector("sketch", bucket_seconds=0.5)
+        right = MetricsCollector("sketch", bucket_seconds=0.5)
+        both = MetricsCollector("sketch", bucket_seconds=0.5)
+        for i in range(1, 40):
+            inv = _finished(f"t{i % 2}", 0.2 * i)
+            (left if i % 2 else right).record(inv)
+            both.record(inv)
+        left.merge_from(right)
+        assert left.num_recorded == both.num_recorded
+        assert left.e2e_stats().count == both.e2e_stats().count
+        assert left.e2e_stats().p99 == both.e2e_stats().p99
+        assert left.window(2.0, 6.0).num_completed == both.window(2.0, 6.0).num_completed
+        got = left.by_caller()
+        want = both.by_caller()
+        assert {t: c.num_completed for t, c in got.items()} == {
+            t: c.num_completed for t, c in want.items()
+        }

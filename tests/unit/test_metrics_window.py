@@ -200,3 +200,67 @@ class TestWindowedByCaller:
         split = metrics.by_caller(since=0.0, until=10.0)
         finished = [inv.completed_at for inv in split["t"].completed]
         assert finished == sorted(finished)
+
+
+class TestByCallerBulkAdoption:
+    """Regression: the bulk-slice ``by_caller`` equals per-sample recording.
+
+    ``by_caller`` adopts sorted window slices wholesale instead of
+    re-``record()``-ing every sample into fresh collectors.  This pins the
+    optimisation to the semantics of the naive implementation: recording
+    each windowed invocation one by one must produce identical per-tenant
+    collectors.
+    """
+
+    def test_windowed_by_caller_equals_per_sample_recording(self):
+        metrics = MetricsCollector()
+        stamps_and_states = [
+            (0.4, InvocationStatus.COMPLETED),
+            (0.8, InvocationStatus.REJECTED),
+            (1.0, InvocationStatus.COMPLETED),
+            (1.3, InvocationStatus.THROTTLED),
+            (1.3, InvocationStatus.COMPLETED),
+            (1.9, InvocationStatus.FAILED),
+            (2.0, InvocationStatus.COMPLETED),
+            (2.6, InvocationStatus.COMPLETED),
+        ]
+        invocations = [
+            _finished(f"tenant-{i % 3}", at, status=status)
+            for i, (at, status) in enumerate(stamps_and_states)
+        ]
+        for inv in invocations:
+            metrics.record(inv)
+
+        since, until = 1.0, 2.0
+        fast = metrics.by_caller(since=since, until=until)
+
+        naive: dict = {}
+        for inv in invocations:
+            if since <= inv.completed_at <= until:
+                naive.setdefault(inv.caller, MetricsCollector()).record(inv)
+
+        assert set(fast) == set(naive)
+        for tenant, want in naive.items():
+            got = fast[tenant]
+            # Same sample objects, same order, in every outcome bucket.
+            assert got.completed == want.completed
+            assert got.failed == want.failed
+            assert got.rejected == want.rejected
+            assert got.throttled == want.throttled
+            if want.num_completed:
+                assert got.e2e_stats() == want.e2e_stats()
+
+    def test_unwindowed_by_caller_equals_per_sample_recording(self):
+        metrics = MetricsCollector()
+        invocations = [
+            _finished(f"t{i % 2}", 0.3 * i + 0.1) for i in range(1, 12)
+        ]
+        for inv in invocations:
+            metrics.record(inv)
+        fast = metrics.by_caller()
+        naive: dict = {}
+        for inv in invocations:
+            naive.setdefault(inv.caller, MetricsCollector()).record(inv)
+        assert set(fast) == set(naive)
+        for tenant, want in naive.items():
+            assert fast[tenant].completed == want.completed
