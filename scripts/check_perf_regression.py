@@ -15,13 +15,23 @@ effectively scale-free and the comparison is direct.  Exact-mode cost
 horizon), so the full-scale baseline is a lower bound for any shorter
 run — the floor is conservative in the safe direction.
 
+Reports may also (or only) carry a ``cluster_scale`` section — the
+indexed-vs-scan routing sweep ``perf-trace --shape cluster-scale``
+writes.  For every ``invokers x actions`` point present in both
+candidate and baseline, the gate applies the same throughput floor to
+the **indexed** routing's invocations-per-second (the scan comparator is
+the correctness oracle, not the tracked number), and requires the
+candidate's bit-identity cross-checks (equal goodput, cold starts,
+steals, and per-invoker routing between indexed and scan) to hold.
+
 The check fails (exit 1) when any shared mode's throughput drops more
 than ``REPRO_PERF_TOLERANCE`` (default 0.25, i.e. 25 %) below baseline,
 or when the candidate's fidelity cross-checks (equal goodput and
 cold-start counts across modes, p99 relative error under 1 %) no longer
 hold.  CI machines are noisy and heterogeneous; the generous tolerance
 catches real structural regressions (an accidental per-sample copy, a
-heap that stops compacting) without flaking on scheduler jitter.
+heap that stops compacting, a routing index that silently falls back to
+scans) without flaking on scheduler jitter.
 """
 
 from __future__ import annotations
@@ -39,24 +49,19 @@ DEFAULT_TOLERANCE = 0.25
 def load(path: Path) -> dict:
     with path.open() as handle:
         report = json.load(handle)
-    if report.get("benchmark") != "perf-trace" or "modes" not in report:
+    has_metrics = report.get("benchmark") == "perf-trace" and "modes" in report
+    has_cluster = "points" in report.get("cluster_scale", {})
+    if not has_metrics and not has_cluster:
         raise SystemExit(f"{path} is not a perf-trace report")
     return report
 
 
-def main(argv: list[str]) -> int:
-    if not 1 <= len(argv) <= 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    candidate_path = Path(argv[0])
-    baseline_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_BASELINE
-    tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_TOLERANCE))
-
-    candidate = load(candidate_path)
-    baseline = load(baseline_path)
-
-    failures: list[str] = []
-
+def check_metrics(
+    candidate: dict, baseline: dict, tolerance: float, failures: list[str]
+) -> None:
+    """Gate the exact-vs-sketch metrics section (when both reports have it)."""
+    if "modes" not in candidate or "modes" not in baseline:
+        return
     shared_modes = sorted(set(candidate["modes"]) & set(baseline["modes"]))
     if not shared_modes:
         failures.append("candidate and baseline share no metrics modes")
@@ -84,6 +89,70 @@ def main(argv: list[str]) -> int:
     p99_err = candidate.get("p99_relative_error")
     if p99_err is not None and p99_err >= 0.01:
         failures.append(f"sketch p99 relative error {p99_err:.4f} >= 1%")
+
+
+_CLUSTER_IDENTITY_FLAGS = (
+    "equal_goodput",
+    "equal_cold_starts",
+    "equal_steals",
+    "equal_routing",
+    "equal_p99",
+)
+
+
+def check_cluster_scale(
+    candidate: dict, baseline: dict, tolerance: float, failures: list[str]
+) -> None:
+    """Gate the indexed-vs-scan cluster-scale section (when the candidate has it)."""
+    cand_points = candidate.get("cluster_scale", {}).get("points", {})
+    base_points = baseline.get("cluster_scale", {}).get("points", {})
+    if not cand_points:
+        return
+    for key in sorted(cand_points):
+        point = cand_points[key]
+        # Bit-identity between the index and the scan oracle is absolute:
+        # a fast router that routes differently is a correctness bug.
+        for flag in _CLUSTER_IDENTITY_FLAGS:
+            if point.get(flag) is False:
+                failures.append(
+                    f"cluster-scale {key}: indexed and scan routing diverged "
+                    f"({flag} is false)"
+                )
+        indexed = point.get("routing", {}).get("indexed")
+        base_indexed = (
+            base_points.get(key, {}).get("routing", {}).get("indexed")
+        )
+        if indexed is None or base_indexed is None:
+            continue
+        got = indexed["invocations_per_second"]
+        want = base_indexed["invocations_per_second"]
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{key:>7}: {got:10,.0f} inv/s vs baseline {want:10,.0f} "
+            f"(floor {floor:10,.0f}) {verdict}  [indexed routing]"
+        )
+        if got < floor:
+            failures.append(
+                f"cluster-scale {key} indexed throughput {got:,.0f} inv/s is "
+                f"more than {tolerance:.0%} below the baseline {want:,.0f} inv/s"
+            )
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    candidate_path = Path(argv[0])
+    baseline_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_BASELINE
+    tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_TOLERANCE))
+
+    candidate = load(candidate_path)
+    baseline = load(baseline_path)
+
+    failures: list[str] = []
+    check_metrics(candidate, baseline, tolerance, failures)
+    check_cluster_scale(candidate, baseline, tolerance, failures)
 
     if failures:
         for failure in failures:

@@ -2104,6 +2104,7 @@ def _perf_trace_run(
     actions: int = 8,
     load_factor: float = 0.7,
     cycles: int = 3,
+    trace_file: Optional[str] = None,
 ) -> Dict[str, object]:
     """Replay the synthetic multi-day Azure-shaped trace once.
 
@@ -2113,6 +2114,15 @@ def _perf_trace_run(
     summary.  The measured wall-clock covers the replay and the final
     end-to-end reduction, not trace synthesis (which is identical across
     modes and not the subject of the comparison).
+
+    ``trace_file`` replaces the synthetic diurnal generator with a
+    *published* Azure Functions invocations-per-function CSV (see
+    :func:`~repro.faas.loadgen.load_azure_trace_csv`): the file's
+    heaviest functions map onto the deployed actions, its full timeline
+    is compressed onto the run's duration, and its aggregate rate is
+    rescaled to the cluster's offered load — so the tracked harness
+    replays real-trace shapes at any requested length through the same
+    measurement path as the synthetic baseline.
     """
     profile = microbenchmark_profile(16, 2)
     offered = (
@@ -2136,15 +2146,24 @@ def _perf_trace_run(
         actions,
         action_names=balanced_action_names(actions, invokers=invokers, prefix="day"),
     )
-    offsets, sequence = azure_diurnal_arrivals(
-        deployed,
-        duration_seconds=duration,
-        mean_rps=offered,
-        rng=platform.rng_streams.stream("azure-trace"),
-        period_seconds=duration / cycles,
-        amplitude=0.6,
-        burst_fraction=0.05,
-    )
+    if trace_file is not None:
+        offsets, sequence = load_azure_trace_csv(
+            trace_file,
+            deployed,
+            duration_seconds=duration,
+            rng=platform.rng_streams.stream("azure-trace"),
+            mean_rps=offered,
+        )
+    else:
+        offsets, sequence = azure_diurnal_arrivals(
+            deployed,
+            duration_seconds=duration,
+            mean_rps=offered,
+            rng=platform.rng_streams.stream("azure-trace"),
+            period_seconds=duration / cycles,
+            amplitude=0.6,
+            burst_fraction=0.05,
+        )
     client = OpenLoopClient(
         platform,
         deployed,
@@ -2174,6 +2193,7 @@ def _perf_trace_run(
         "invocations_per_second": result.issued / wall if wall > 0 else 0.0,
         "duration_seconds": duration,
         "offered_rps": offered,
+        "trace_file": trace_file,
         "e2e_sketch": _e2e_as_sketch(platform),
     }
 
@@ -2208,15 +2228,19 @@ def _peak_rss_mb() -> float:
     return usage.ru_maxrss / 1024.0  # Linux reports KiB
 
 
-def _perf_trace_worker(job: Tuple[str, int, int]) -> Dict[str, object]:
+def _perf_trace_worker(
+    job: Tuple[str, int, int, Optional[str]]
+) -> Dict[str, object]:
     """Child-process entry: run one mode and report its own peak RSS.
 
     Spawned fresh per job (``maxtasksperchild=1``), so the peak reflects
     exactly this run's footprint — in exact mode that is the
     retained-invocation heap the sketch mode exists to eliminate.
     """
-    mode, invocations, seed = job
-    summary = _perf_trace_run(mode, invocations=invocations, seed=seed)
+    mode, invocations, seed, trace_file = job
+    summary = _perf_trace_run(
+        mode, invocations=invocations, seed=seed, trace_file=trace_file
+    )
     summary["max_rss_mb"] = _peak_rss_mb()
     summary.pop("e2e_sketch", None)
     return summary
@@ -2228,6 +2252,7 @@ def run_perf_trace(
     seed: int = 20230501,
     processes: int = 1,
     modes: Sequence[str] = ("exact", "sketch"),
+    trace_file: Optional[str] = None,
 ) -> Dict[str, object]:
     """The tracked perf baseline: exact vs sketch over the same trace.
 
@@ -2239,8 +2264,13 @@ def run_perf_trace(
     RSS ratio and the sketch's p99 relative error.  ``processes > 1``
     runs the modes concurrently; the default measures them back to back
     so wall-clocks are not perturbed by CPU contention.
+
+    ``trace_file`` swaps the synthetic diurnal trace for a published
+    Azure invocations-per-function CSV replayed at the same offered
+    load (see :func:`_perf_trace_run`); every cross-check applies
+    unchanged, since both modes replay the identical loaded trace.
     """
-    jobs = [(mode, int(invocations), int(seed)) for mode in modes]
+    jobs = [(mode, int(invocations), int(seed), trace_file) for mode in modes]
     ctx = multiprocessing.get_context("spawn")
     with ctx.Pool(min(max(1, processes), len(jobs)), maxtasksperchild=1) as pool:
         if processes > 1:
@@ -2252,6 +2282,7 @@ def run_perf_trace(
         "benchmark": "perf-trace",
         "invocations_requested": int(invocations),
         "seed": int(seed),
+        "trace_file": trace_file,
         "modes": by_mode,
     }
     if "exact" in by_mode and "sketch" in by_mode:
@@ -2278,6 +2309,227 @@ def run_perf_trace(
             exact["cold_starts"] == sketch["cold_starts"]
         )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Cluster-scale routing baseline: indexed vs scan
+# ---------------------------------------------------------------------------
+
+#: The tracked cluster-scale sweep: (invokers, actions) points.  The
+#: first point doubles as the CI quick shape; the 32×256 point is the
+#: acceptance gate for the indexed-routing speedup.
+CLUSTER_SCALE_POINTS: Tuple[Tuple[int, int], ...] = (
+    (16, 128),
+    (32, 256),
+    (64, 256),
+)
+
+#: The two routing implementations the baseline compares.  They make
+#: bit-identical decisions; only the per-request cost differs.
+CLUSTER_SCALE_ROUTINGS: Tuple[str, ...] = ("scan", "indexed")
+
+
+def cluster_scale_config(
+    routing: str,
+    *,
+    cores: int = 4,
+    invokers: int = 32,
+    seed: int = 20230501,
+) -> SimulationConfig:
+    """The cluster-scale trace's configuration: warm-aware + stealing.
+
+    Unlike :func:`perf_trace_config` (which isolates metrics bookkeeping
+    under behaviour-free hash routing), this shape exercises the routing
+    hot path itself: the warm-aware policy scores every invoker per
+    request and work stealing rebalances after every submit — the code
+    whose per-request cost the :class:`~repro.faas.index.ClusterIndex`
+    turns from O(invokers × actions) scans into O(log N) index queries.
+    ``routing="scan"`` disables the index (the pre-index implementations,
+    kept as the comparator and correctness oracle); ``routing="indexed"``
+    enables it.  Both run bit-identical simulations: same routing
+    choices, same steals, same cold starts, same timestamps.
+    """
+    if routing not in CLUSTER_SCALE_ROUTINGS:
+        raise PlatformError(
+            f"unknown routing {routing!r}; choose one of {CLUSTER_SCALE_ROUTINGS}"
+        )
+    return SimulationConfig(
+        cores=cores,
+        invokers=invokers,
+        containers_per_action=1,
+        scheduler_policy="warm-aware",
+        work_stealing=True,
+        cluster_index=(routing == "indexed"),
+        max_containers_per_action=cores,
+        keep_alive_seconds=600.0,
+        control_plane=False,
+        metrics_mode="sketch",
+        metrics_bucket_seconds=1.0,
+        seed=seed,
+    )
+
+
+def _cluster_scale_run(
+    routing: str,
+    *,
+    invokers: int,
+    actions: int,
+    invocations: int,
+    seed: int = 20230501,
+    cores: int = 4,
+    load_factor: float = 0.85,
+    cycles: int = 3,
+) -> Dict[str, object]:
+    """Replay one cluster-scale diurnal trace under one routing mode.
+
+    The trace runs the cluster at ``load_factor`` of estimated capacity
+    with diurnal swings and correlated bursts, so peaks genuinely
+    saturate invokers and the work-stealing paths fire (steal counts are
+    part of the cross-checked behaviour).  Wall-clock covers the replay
+    only, as in :func:`_perf_trace_run`.
+    """
+    profile = microbenchmark_profile(16, 2)
+    offered = (
+        estimate_cluster_capacity_rps(profile, invokers=invokers, cores=cores)
+        * load_factor
+    )
+    duration = 1.1 * invocations / offered
+    platform = FaaSCluster(
+        cluster_scale_config(routing, cores=cores, invokers=invokers, seed=seed)
+    )
+    deployed = _deploy_action_copies(
+        platform,
+        profile,
+        "base",
+        actions,
+        action_names=balanced_action_names(actions, invokers=invokers, prefix="cs"),
+    )
+    offsets, sequence = azure_diurnal_arrivals(
+        deployed,
+        duration_seconds=duration,
+        mean_rps=offered,
+        rng=platform.rng_streams.stream("azure-trace"),
+        period_seconds=duration / cycles,
+        amplitude=0.6,
+        burst_fraction=0.05,
+    )
+    client = OpenLoopClient(
+        platform,
+        deployed,
+        trace=offsets,
+        action_sequence=sequence,
+        duration_seconds=duration,
+        caller_for=_perf_trace_caller,
+        keep_samples=False,
+        lazy_trace=True,
+    )
+    gc.collect()
+    started = time.perf_counter()
+    result = client.run()
+    stats = platform.metrics.e2e_stats()
+    wall = time.perf_counter() - started
+    scheduler = platform.scheduler
+    if scheduler.index is not None:
+        # Self-check: the incrementally maintained indices must equal a
+        # from-scratch recompute at the end of every tracked run.
+        scheduler.index.verify()
+    return {
+        "routing": routing,
+        "invokers": invokers,
+        "actions": actions,
+        "seed": seed,
+        "arrivals": result.issued,
+        "completed": result.completed,
+        "goodput_fraction": result.goodput_fraction,
+        "cold_starts": sum(inv.cold_starts for inv in platform.invokers),
+        "steals": scheduler.steals,
+        "routed_per_invoker": list(scheduler.routed_per_invoker),
+        "p99_ms": stats.p99 * 1000.0,
+        "wall_seconds": wall,
+        "invocations_per_second": result.issued / wall if wall > 0 else 0.0,
+        "duration_seconds": duration,
+        "offered_rps": offered,
+    }
+
+
+def _cluster_scale_worker(
+    job: Tuple[str, int, int, int, int]
+) -> Dict[str, object]:
+    """Child-process entry: one routing mode of one sweep point."""
+    routing, invokers, actions, invocations, seed = job
+    summary = _cluster_scale_run(
+        routing,
+        invokers=invokers,
+        actions=actions,
+        invocations=invocations,
+        seed=seed,
+    )
+    summary["max_rss_mb"] = _peak_rss_mb()
+    return summary
+
+
+def run_cluster_scale(
+    *,
+    invocations: int = 30_000,
+    seed: int = 20230501,
+    processes: int = 1,
+    points: Sequence[Tuple[int, int]] = CLUSTER_SCALE_POINTS,
+) -> Dict[str, object]:
+    """The tracked cluster-scale routing baseline: indexed vs scan.
+
+    For each ``(invokers, actions)`` sweep point, replays the identical
+    warm-aware + work-stealing diurnal trace once per routing
+    implementation, each in its own spawn-started child process (as in
+    :func:`run_perf_trace`).  Cross-checks that the two implementations
+    simulated the *same cluster doing the same work* — equal goodput,
+    cold starts, steal counts, and per-invoker routing — and reports the
+    indexed-over-scan throughput speedup per point.
+    """
+    jobs = [
+        (routing, int(invokers), int(actions), int(invocations), int(seed))
+        for invokers, actions in points
+        for routing in CLUSTER_SCALE_ROUTINGS
+    ]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(min(max(1, processes), len(jobs)), maxtasksperchild=1) as pool:
+        if processes > 1:
+            summaries = pool.map(_cluster_scale_worker, jobs)
+        else:
+            summaries = [pool.apply(_cluster_scale_worker, (job,)) for job in jobs]
+    by_point: Dict[str, Dict[str, object]] = {}
+    for summary in summaries:
+        key = f"{summary['invokers']}x{summary['actions']}"
+        by_point.setdefault(key, {
+            "invokers": summary["invokers"],
+            "actions": summary["actions"],
+            "routing": {},
+        })["routing"][summary["routing"]] = summary
+    for key, point in by_point.items():
+        modes = point["routing"]
+        if set(modes) >= {"scan", "indexed"}:
+            scan, indexed = modes["scan"], modes["indexed"]
+            point["speedup_indexed_vs_scan"] = (
+                scan["wall_seconds"] / indexed["wall_seconds"]
+                if indexed["wall_seconds"] > 0
+                else None
+            )
+            point["equal_goodput"] = (
+                scan["goodput_fraction"] == indexed["goodput_fraction"]
+            )
+            point["equal_cold_starts"] = (
+                scan["cold_starts"] == indexed["cold_starts"]
+            )
+            point["equal_steals"] = scan["steals"] == indexed["steals"]
+            point["equal_routing"] = (
+                scan["routed_per_invoker"] == indexed["routed_per_invoker"]
+            )
+            point["equal_p99"] = scan["p99_ms"] == indexed["p99_ms"]
+    return {
+        "benchmark": "cluster-scale",
+        "invocations_requested": int(invocations),
+        "seed": int(seed),
+        "points": by_point,
+    }
 
 
 # ---------------------------------------------------------------------------

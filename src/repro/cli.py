@@ -33,11 +33,13 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.experiments import (
+    CLUSTER_SCALE_POINTS,
     LOAD_STRATEGIES,
     estimate_cluster_capacity_rps,
     measure_cluster_throughput,
     measure_latency_under_load,
     measure_restores,
+    run_cluster_scale,
     run_lifecycle,
     run_perf_trace,
     run_slo_control,
@@ -389,14 +391,22 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_perf_trace(args: argparse.Namespace) -> int:
-    """Replay the million-request trace and persist the perf baseline."""
+#: ``perf-trace --shape`` choices: which tracked traces to (re)measure.
+PERF_TRACE_SHAPES = ("metrics", "cluster-scale", "all")
+
+#: ``--quick`` arrivals per cluster-scale point: the CI smoke scale.
+CLUSTER_SCALE_QUICK_INVOCATIONS = 8_000
+
+
+def _run_perf_trace_metrics(args: argparse.Namespace) -> dict:
+    """The metrics shape of ``perf-trace``: exact vs sketch bookkeeping."""
     invocations = 100_000 if args.quick else args.invocations
     report = run_perf_trace(
         invocations=invocations,
         seed=args.seed,
         processes=args.processes,
         modes=tuple(args.modes),
+        trace_file=args.trace_file,
     )
     report["quick"] = bool(args.quick)
     rows = [
@@ -412,13 +422,18 @@ def cmd_perf_trace(args: argparse.Namespace) -> int:
         ]
         for summary in report["modes"].values()
     ]
+    source = (
+        f"replayed from {args.trace_file}"
+        if args.trace_file
+        else "over a 3-cycle diurnal trace"
+    )
     print(render_table(
         ["metrics mode", "arrivals", "wall (s)", "arrivals/s",
          "peak RSS (MB)", "goodput", "cold starts", "p99 (ms)"],
         rows,
         title=(
-            f"perf-trace — {invocations:,} requested arrivals over a "
-            "3-cycle diurnal trace (each mode in its own process)"
+            f"perf-trace — {invocations:,} requested arrivals {source} "
+            "(each mode in its own process)"
         ),
     ))
     if "speedup_sketch_vs_exact" in report:
@@ -429,9 +444,99 @@ def cmd_perf_trace(args: argparse.Namespace) -> int:
             f"(behaviour identical: goodput equal={report['equal_goodput']}, "
             f"cold starts equal={report['equal_cold_starts']})"
         )
+    return report
+
+
+def _run_perf_trace_cluster_scale(args: argparse.Namespace) -> dict:
+    """The cluster-scale shape of ``perf-trace``: indexed vs scan routing."""
+    invocations = (
+        CLUSTER_SCALE_QUICK_INVOCATIONS if args.quick else args.cluster_invocations
+    )
+    points = CLUSTER_SCALE_POINTS[:1] if args.quick else CLUSTER_SCALE_POINTS
+    report = run_cluster_scale(
+        invocations=invocations,
+        seed=args.seed,
+        processes=args.processes,
+        points=points,
+    )
+    report["quick"] = bool(args.quick)
+    rows = []
+    for key, point in report["points"].items():
+        for summary in point["routing"].values():
+            rows.append([
+                key,
+                summary["routing"],
+                str(summary["arrivals"]),
+                f"{summary['wall_seconds']:.1f}",
+                f"{summary['invocations_per_second']:.0f}",
+                f"{summary['max_rss_mb']:.0f}",
+                str(summary["steals"]),
+                str(summary["cold_starts"]),
+                f"{summary['goodput_fraction'] * 100:.2f}%",
+            ])
+    print(render_table(
+        ["invokers x actions", "routing", "arrivals", "wall (s)", "arrivals/s",
+         "peak RSS (MB)", "steals", "cold starts", "goodput"],
+        rows,
+        title=(
+            f"cluster-scale — {invocations:,} requested arrivals per point, "
+            "warm-aware routing + work stealing (each run in its own process)"
+        ),
+    ))
+    for key, point in report["points"].items():
+        if "speedup_indexed_vs_scan" in point:
+            identical = all(
+                point[flag]
+                for flag in ("equal_goodput", "equal_cold_starts",
+                             "equal_steals", "equal_routing", "equal_p99")
+            )
+            print(
+                f"{key}: indexed routing {point['speedup_indexed_vs_scan']:.2f}x "
+                f"faster than scan (behaviour identical={identical})"
+            )
+    return report
+
+
+def _merge_perf_sections(path: str, sections: dict) -> dict:
+    """Merge freshly measured sections into the baseline file's contents.
+
+    The baseline JSON keeps the metrics report at top level (its historic
+    layout) with the cluster-scale report nested under ``cluster_scale``.
+    Shapes that did not run this invocation are preserved from the
+    existing file, so ``--shape cluster-scale`` does not clobber the
+    tracked metrics baseline and vice versa.
+    """
+    existing: dict = {}
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = {}
+    metrics = sections.get("metrics")
+    if metrics is None:
+        merged = dict(existing)
+    else:
+        merged = dict(metrics)
+        if "cluster_scale" in existing:
+            merged["cluster_scale"] = existing["cluster_scale"]
+    cluster = sections.get("cluster-scale")
+    if cluster is not None:
+        merged["cluster_scale"] = cluster
+    return merged
+
+
+def cmd_perf_trace(args: argparse.Namespace) -> int:
+    """Replay the tracked perf traces and persist the baseline."""
+    shapes = PERF_TRACE_SHAPES[:-1] if args.shape == "all" else (args.shape,)
+    sections: dict = {}
+    if "metrics" in shapes:
+        sections["metrics"] = _run_perf_trace_metrics(args)
+    if "cluster-scale" in shapes:
+        sections["cluster-scale"] = _run_perf_trace_cluster_scale(args)
     if args.output:
+        merged = _merge_perf_sections(args.output, sections)
         with open(args.output, "w") as handle:
-            json.dump(report, handle, indent=1, sort_keys=True)
+            json.dump(merged, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
     return 0
@@ -614,14 +719,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     perf_parser = subparsers.add_parser(
         "perf-trace",
-        help="replay a multi-day Azure-shaped trace in exact vs sketch "
-             "metrics mode and persist the tracked perf baseline",
+        help="replay the tracked perf traces (exact-vs-sketch metrics, "
+             "indexed-vs-scan cluster-scale routing) and persist the "
+             "perf baseline",
     )
+    perf_parser.add_argument("--shape", choices=PERF_TRACE_SHAPES,
+                             default="metrics",
+                             help="which tracked trace to measure: the "
+                                  "metrics-bookkeeping trace, the "
+                                  "cluster-scale routing sweep, or both")
     perf_parser.add_argument("--invocations", type=int, default=1_000_000,
-                             help="arrivals in the synthetic trace "
+                             help="arrivals in the synthetic metrics trace "
                                   "(default: 1,000,000)")
+    perf_parser.add_argument("--cluster-invocations", type=int, default=30_000,
+                             help="arrivals per cluster-scale sweep point "
+                                  "(default: 30,000; the scan comparator "
+                                  "replays every point too)")
     perf_parser.add_argument("--quick", action="store_true",
-                             help="CI smoke scale: 100,000 arrivals")
+                             help="CI smoke scale: 100,000 metrics arrivals "
+                                  f"/ {CLUSTER_SCALE_QUICK_INVOCATIONS:,} "
+                                  "cluster-scale arrivals on the first "
+                                  "sweep point only")
+    perf_parser.add_argument("--trace-file", default=None,
+                             help="replay a published Azure Functions "
+                                  "invocations-per-function CSV through the "
+                                  "metrics trace instead of the synthetic "
+                                  "diurnal generator")
     perf_parser.add_argument("--seed", type=int, default=20230501)
     perf_parser.add_argument("--processes", type=int, default=1,
                              help="how many mode runs to execute "

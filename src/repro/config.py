@@ -123,6 +123,15 @@ class SimulationConfig:
     #: instead of letting them back up (see
     #: :class:`~repro.faas.scheduler.Scheduler`).
     work_stealing: bool = False
+    #: Incrementally-maintained cluster-state indices (see
+    #: :class:`~repro.faas.index.ClusterIndex`): invokers push O(1)
+    #: load/warmth/queue-depth deltas at state-transition points and the
+    #: load-based policies and work-stealing rebalance query the index
+    #: instead of scanning every invoker per request.  Routing and steal
+    #: decisions are bit-identical either way — disabling only restores
+    #: the O(invokers × actions) per-request scans (the pre-index
+    #: behaviour, kept as the perf comparator and correctness oracle).
+    cluster_index: bool = True
     #: How each invoker orders its per-action waiting queues: ``"fifo"``
     #: (arrival order, the seed behaviour) or ``"wfq"`` (deficit-round-robin
     #: fairness across tenants; see :mod:`repro.faas.admission`).

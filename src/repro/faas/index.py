@@ -1,0 +1,247 @@
+"""Incrementally-maintained cluster-state indices for O(log N) routing.
+
+The scan implementations of :class:`~repro.faas.scheduler.LeastLoadedPolicy`,
+:class:`~repro.faas.scheduler.WarmAwarePolicy` and the work-stealing
+rebalance recompute per-invoker state from scratch on every submitted
+invocation, so per-request routing cost grows with invokers × deployed
+actions.  :class:`ClusterIndex` inverts that: each
+:class:`~repro.faas.invoker.Invoker` pushes O(1) deltas at its
+state-transition points (container busy/idle, boot start/finish,
+enqueue/dequeue, eviction — see ``Invoker._touch_pool``), and the index
+maintains three structures the policies and the scheduler query instead
+of scanning:
+
+* **A load-ordered lazy min-heap** over ``(load, position)`` pairs.  A
+  load change pushes a fresh entry in O(log N) and leaves the old one
+  behind as a *stale* entry (recognised by comparing its load against
+  the authoritative ``_loads`` array and discarded when it surfaces).
+  The heap is compacted — rebuilt from ``_loads`` — once stale entries
+  outnumber live ones several times over, so amortised cost stays
+  O(log N) per update and per query.
+* **Per-action warm sets**: the positions whose invokers have at least
+  one container (existing or booting) for the action — exactly the
+  ``snapshot.warmth(action) > 0`` predicate the warm-aware policy
+  scores, without materialising a snapshot.
+* **Per-action queue-depth maps** (sparse: only positions with a
+  non-empty queue appear): the victim index for work stealing, and —
+  via plain emptiness — the O(1) "is any steal possible at all?" guard
+  that makes the post-submit rebalance event-driven.
+
+Every query reproduces the corresponding scan's result **bit for bit**,
+including tie-break order (load ties go to the lowest invoker index;
+the warm-aware comparison key is the exact ``(load + penalty, load,
+index)`` tuple of the scan).  The equivalence is pinned by the unit and
+Hypothesis suites in ``tests/unit/test_cluster_index.py`` and
+``tests/property/test_prop_index.py``.
+
+The index is a pure observer: it never mutates invokers, consumes RNG,
+or schedules events, so attaching it cannot perturb simulated behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (invoker ← index)
+    from repro.faas.invoker import Invoker
+
+#: The heap is compacted once it holds more than this many entries per
+#: invoker — beyond it, stale corpses dominate and pop-side cleanup
+#: would degrade toward O(history) instead of O(live).
+_HEAP_SLACK_FACTOR = 4
+
+
+class ClusterIndex:
+    """Live load/warmth/queue-depth indices over a fixed set of invokers.
+
+    Construction attaches the index to every invoker (see
+    :meth:`Invoker.attach_index`), which backfills the current state, so
+    an index may be created before or after actions are deployed.
+    """
+
+    def __init__(self, invokers: Sequence["Invoker"]) -> None:
+        self.invokers = list(invokers)
+        n = len(self.invokers)
+        #: Authoritative per-position load (heap entries not matching
+        #: this array are stale).
+        self._loads: List[int] = [0] * n
+        self._heap: List[Tuple[int, int]] = [(0, pos) for pos in range(n)]
+        # Already heap-ordered: loads equal, positions ascending.
+        self._warm: Dict[str, Set[int]] = {}
+        self._depths: Dict[str, Dict[int, int]] = {}
+        #: Lazy-heap bookkeeping (observability / test hooks).
+        self.compactions = 0
+        for position, invoker in enumerate(self.invokers):
+            invoker.attach_index(self, position)
+
+    # ------------------------------------------------------------------
+    # Listener surface (fed by Invoker._touch / Invoker._touch_pool)
+    # ------------------------------------------------------------------
+
+    def load_changed(self, position: int, load: int) -> None:
+        """Record ``position``'s new load; O(log N) amortised, dedup'd."""
+        if load == self._loads[position]:
+            return
+        self._loads[position] = load
+        heapq.heappush(self._heap, (load, position))
+        if len(self._heap) > _HEAP_SLACK_FACTOR * len(self._loads) + 8:
+            self._compact()
+
+    def depth_changed(self, position: int, action: str, depth: int) -> None:
+        """Record ``action``'s queue depth at ``position`` (sparse, dedup'd)."""
+        per_action = self._depths.get(action)
+        if depth > 0:
+            if per_action is None:
+                per_action = {}
+                self._depths[action] = per_action
+            per_action[position] = depth
+        elif per_action is not None:
+            per_action.pop(position, None)
+            if not per_action:
+                del self._depths[action]
+
+    def warmth_changed(self, position: int, action: str, warm: bool) -> None:
+        """Record whether ``position`` has any container/boot for ``action``."""
+        positions = self._warm.get(action)
+        if warm:
+            if positions is None:
+                positions = set()
+                self._warm[action] = positions
+            positions.add(position)
+        elif positions is not None:
+            positions.discard(position)
+            if not positions:
+                del self._warm[action]
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the authoritative loads (drops all corpses)."""
+        self._heap = [(load, pos) for pos, load in enumerate(self._loads)]
+        heapq.heapify(self._heap)
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Policy queries
+    # ------------------------------------------------------------------
+
+    def least_loaded(self) -> int:
+        """The position minimising ``(load, position)`` — the scan's argmin.
+
+        Pops stale heap entries until a live one surfaces; the heap
+        always holds at least one live entry per position, so this
+        terminates and the surfaced minimum is exact (ties break to the
+        lowest position because entries order by ``(load, position)``).
+        """
+        heap, loads = self._heap, self._loads
+        while True:
+            load, position = heap[0]
+            if load == loads[position]:
+                return position
+            heapq.heappop(heap)
+
+    def warm_aware_choose(self, action: str, cold_penalty: float) -> int:
+        """The scan-identical warm-aware argmin, without building snapshots.
+
+        Reproduces ``min(range(n), key=lambda i: (load_i + penalty_i,
+        load_i, i))`` where ``penalty_i`` is 0.0 for invokers warm for
+        ``action`` and ``cold_penalty`` otherwise: the best warm
+        candidate comes from the (small) warm set, the best cold
+        candidate from the load heap (skipping warm entries), and the
+        final comparison uses the exact scan key tuples so float
+        semantics and tie-breaks match bit for bit.
+        """
+        loads = self._loads
+        warm = self._warm.get(action)
+        if not warm:
+            # Everyone pays the same penalty: plain least-loaded argmin.
+            return self.least_loaded()
+        best_warm_pos = -1
+        best_warm_load = 0
+        for position in warm:
+            load = loads[position]
+            if (
+                best_warm_pos < 0
+                or load < best_warm_load
+                or (load == best_warm_load and position < best_warm_pos)
+            ):
+                best_warm_pos = position
+                best_warm_load = load
+        if len(warm) == len(loads):
+            return best_warm_pos  # no cold candidate exists
+        # Walk the heap for the least-loaded *cold* position: stale
+        # entries are discarded, live-but-warm entries are parked and
+        # restored afterwards (they stay live for future queries).
+        heap = self._heap
+        parked: List[Tuple[int, int]] = []
+        while True:
+            load, position = heap[0]
+            if load != loads[position]:
+                heapq.heappop(heap)
+                continue
+            if position in warm:
+                parked.append(heapq.heappop(heap))
+                continue
+            best_cold_pos, best_cold_load = position, load
+            break
+        for entry in parked:
+            heapq.heappush(heap, entry)
+        warm_key = (best_warm_load + 0.0, best_warm_load, best_warm_pos)
+        cold_key = (best_cold_load + cold_penalty, best_cold_load, best_cold_pos)
+        return best_warm_pos if warm_key < cold_key else best_cold_pos
+
+    # ------------------------------------------------------------------
+    # Work-stealing queries
+    # ------------------------------------------------------------------
+
+    def any_queued(self) -> bool:
+        """O(1): does any action have queued work anywhere in the cluster?
+
+        False means no steal victim can exist (every steal needs queue
+        depth >= 1 on some invoker), so the post-submit rebalance may
+        return immediately instead of scanning.
+        """
+        return bool(self._depths)
+
+    def queued_actions(self) -> Iterable[str]:
+        """Actions with queued work somewhere (superset of steal candidates)."""
+        return self._depths.keys()
+
+    def depths_for(self, action: str) -> Dict[int, int]:
+        """Sparse ``{position: depth}`` of the action's non-empty queues."""
+        return self._depths.get(action, {})
+
+    # ------------------------------------------------------------------
+    # Introspection / verification hooks
+    # ------------------------------------------------------------------
+
+    def load_of(self, position: int) -> int:
+        """The indexed load of one position (test/verification surface)."""
+        return self._loads[position]
+
+    def verify(self) -> None:
+        """Assert every index structure against a from-scratch recompute.
+
+        Test hook: raises ``AssertionError`` on the first divergence
+        between the incrementally maintained state and the ground truth
+        recomputed from the invokers.
+        """
+        for position, invoker in enumerate(self.invokers):
+            assert self._loads[position] == invoker.load, (
+                f"load index stale at {position}: "
+                f"{self._loads[position]} != {invoker.load}"
+            )
+        live = {(self._loads[pos], pos) for pos in range(len(self._loads))}
+        assert live <= set(self._heap), "heap lost a live (load, position) entry"
+        warm: Dict[str, Set[int]] = {}
+        depths: Dict[str, Dict[int, int]] = {}
+        for position, invoker in enumerate(self.invokers):
+            for pool in invoker._pools.values():
+                action = pool.spec.name
+                if len(pool.containers) + pool.cold_starting > 0:
+                    warm.setdefault(action, set()).add(position)
+                if len(pool.queue) > 0:
+                    depths.setdefault(action, {})[position] = len(pool.queue)
+        assert warm == self._warm, f"warm sets diverged: {warm} != {self._warm}"
+        assert depths == self._depths, (
+            f"depth maps diverged: {depths} != {self._depths}"
+        )

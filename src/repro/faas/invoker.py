@@ -54,7 +54,7 @@ substrate built on top of it:
 from __future__ import annotations
 
 import random
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -117,6 +117,15 @@ class _ActionPool:
     #: observability surface finer-grained than the cumulative counter
     #: the forecaster consumes.
     arrival_times: Deque[float] = field(default_factory=lambda: deque(maxlen=4096))
+    #: This pool's current contribution to the invoker's incrementally
+    #: maintained uncovered-queue total: ``max(0, len(queue) -
+    #: cold_starting)`` as of the last state transition.
+    uncovered: int = 0
+    #: Creation sequence number (== the pool's position in the invoker's
+    #: insertion-ordered pool dict).  Index-driven steal scans sort
+    #: candidate actions by this to reproduce the pool-order iteration of
+    #: the full scan bit for bit.
+    seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -237,6 +246,21 @@ class Invoker:
         self._booting = 0
         #: Boots requested but waiting for a free core, in request order.
         self._boot_backlog: Deque[Tuple[_ActionPool, Container]] = deque()
+        #: Incrementally maintained sum of ``max(0, queue - cold_starting)``
+        #: over all pools — the queue term of :attr:`load`, kept O(1) by
+        #: per-pool deltas at every state transition (see ``_touch_pool``).
+        self._queued_uncovered = 0
+        #: Monotone counter bumped at every cluster-visible state change;
+        #: :meth:`snapshot` reuses its cached result while it is unchanged.
+        self._state_version = 0
+        self._snapshot_cache: Optional[InvokerSnapshot] = None
+        self._snapshot_version = -1
+        #: Cluster index attachment (see :class:`~repro.faas.index.
+        #: ClusterIndex`): a listener fed O(1) load/queue-depth/warmth
+        #: deltas at state-transition points, and this invoker's position
+        #: in the cluster's invoker list.  ``None``/-1 when unattached.
+        self.index_listener = None
+        self.index_position = -1
         self._eviction_timer: Optional[RecurringTimer] = None
         #: Hook a cluster scheduler installs to learn when this invoker has
         #: a free core it cannot use (nothing dispatchable, no boot to
@@ -291,6 +315,67 @@ class Invoker:
         self.stolen_away = 0
 
     # ------------------------------------------------------------------
+    # Incremental state tracking (snapshot cache + cluster index feed)
+    # ------------------------------------------------------------------
+
+    def attach_index(self, listener, position: int) -> None:
+        """Attach a cluster-index listener and backfill the current state.
+
+        ``listener`` receives O(1) deltas at every state-transition point:
+        ``load_changed(position, load)``, ``depth_changed(position, action,
+        depth)`` and ``warmth_changed(position, action, warm)``.  The
+        listener is expected to deduplicate (notifications re-stating the
+        current value are legal and common).
+        """
+        self.index_listener = listener
+        self.index_position = position
+        for pool in self._pools.values():
+            listener.depth_changed(position, pool.spec.name, len(pool.queue))
+            listener.warmth_changed(
+                position,
+                pool.spec.name,
+                len(pool.containers) + pool.cold_starting > 0,
+            )
+        listener.load_changed(position, self.load)
+
+    def _touch(self) -> None:
+        """Mark cluster-visible state dirty; push the new load to the index."""
+        self._state_version += 1
+        listener = self.index_listener
+        if listener is not None:
+            listener.load_changed(
+                self.index_position,
+                self._cores_in_use + len(self._boot_backlog) + self._queued_uncovered,
+            )
+
+    def _touch_pool(self, pool: _ActionPool) -> None:
+        """Re-derive one pool's demand contribution and notify the index.
+
+        Called after any mutation that may have changed the pool's queue
+        depth, cold-starts in flight, container set, or counters.  Keeps
+        ``_queued_uncovered`` exact by applying the pool's delta, then
+        feeds the per-action queue depth and warmth to the attached index
+        and bumps the snapshot version via :meth:`_touch`.
+        """
+        uncovered = len(pool.queue) - pool.cold_starting
+        if uncovered < 0:
+            uncovered = 0
+        if uncovered != pool.uncovered:
+            self._queued_uncovered += uncovered - pool.uncovered
+            pool.uncovered = uncovered
+        listener = self.index_listener
+        if listener is not None:
+            listener.depth_changed(
+                self.index_position, pool.spec.name, len(pool.queue)
+            )
+            listener.warmth_changed(
+                self.index_position,
+                pool.spec.name,
+                len(pool.containers) + pool.cold_starting > 0,
+            )
+        self._touch()
+
+    # ------------------------------------------------------------------
     # Deployment
     # ------------------------------------------------------------------
 
@@ -321,6 +406,7 @@ class Invoker:
             container.initialize()
             pool.containers.append(container)
             pool.idle.append(container)
+        self._touch_pool(pool)
         return list(pool.containers)
 
     def register(self, spec: ActionSpec, *, max_containers: int = 1) -> None:
@@ -334,13 +420,17 @@ class Invoker:
         """
         if max_containers < 1:
             raise PlatformError("a registered action needs max_containers >= 1")
-        self._new_pool(spec, max_containers)
+        pool = self._new_pool(spec, max_containers)
+        self._touch_pool(pool)
 
     def _new_pool(self, spec: ActionSpec, max_containers: int) -> _ActionPool:
         if spec.name in self._pools:
             raise PlatformError(f"action {spec.name!r} is already deployed")
         pool = _ActionPool(
-            spec=spec, queue=self._new_queue(), max_containers=max_containers
+            spec=spec,
+            queue=self._new_queue(),
+            max_containers=max_containers,
+            seq=len(self._pools),
         )
         self._pools[spec.name] = pool
         return pool
@@ -394,6 +484,7 @@ class Invoker:
                 f"{self.invoker_id}: tenant {invocation.caller!r} exceeded its "
                 f"admission quota",
             )
+            self._touch_pool(pool)
             callback(invocation)
             return
         invocation.status = InvocationStatus.QUEUED
@@ -413,12 +504,14 @@ class Invoker:
             if displaced is None:
                 self._shed(pool, invocation, callback)
                 self._signal_autoscaler(pool)
+                self._touch_pool(pool)
                 return
             victim, victim_callback, _victim_arrival = displaced
             self._shed(pool, victim, victim_callback)
         self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
         pool.queue.push((invocation, callback, arrival))
         self._signal_autoscaler(pool)
+        self._touch_pool(pool)
 
     def _maybe_cold_start(self, pool: _ActionPool, *, waiting: int) -> None:
         """Grow the pool if ``waiting`` invocations outstrip the boots in flight.
@@ -499,10 +592,12 @@ class Invoker:
             self._cores_in_use -= 1
             container.idle_since = self.loop.now
             pool.idle.append(container)
+            self._touch_pool(pool)
             self._drain_queues()
 
         self.loop.schedule_at(completion_time, complete, label=f"complete:{invocation.invocation_id}")
         self.loop.schedule_at(available_time, release, label=f"release:{container.container_id}")
+        self._touch_pool(pool)
 
     def _drain_queues(self) -> None:
         """Use freed cores: dispatch queued work, then start pending boots.
@@ -556,6 +651,7 @@ class Invoker:
         entry = pool.queue.pop_newest() if newest else pool.queue.pop_next()
         self.stolen_away += 1
         self._cancel_surplus_boot(pool)
+        self._touch_pool(pool)
         return entry
 
     def adopt(
@@ -584,6 +680,7 @@ class Invoker:
         self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
         pool.queue.push((invocation, callback, arrival))
         self._signal_autoscaler(pool)
+        self._touch_pool(pool)
 
     # ------------------------------------------------------------------
     # Dynamic pools: cold start on demand, keep-alive eviction
@@ -623,6 +720,7 @@ class Invoker:
                 f"below the pre-warmed floor ({max(1, pool.prewarmed)})"
             )
         pool.max_containers = value
+        self._touch_pool(pool)
 
     def scale_action(self, action: str, delta: int) -> Optional[int]:
         """Nudge the action's container ceiling by ``delta``, clamped.
@@ -641,6 +739,7 @@ class Invoker:
         pool.max_containers = target
         if delta > 0:
             self._maybe_cold_start(pool, waiting=len(pool.queue))
+        self._touch_pool(pool)
         return target
 
     def queue_capacity(self, action: str) -> bool:
@@ -688,6 +787,7 @@ class Invoker:
             return False
         self.prewarms += 1
         self._cold_start(pool, on_demand=False)
+        self._touch_pool(pool)
         return True
 
     def drain(
@@ -736,6 +836,8 @@ class Invoker:
             self.evictions += 1
             self.drains += 1
             drained += 1
+        if drained:
+            self._touch_pool(pool)
         return drained
 
     def set_tenant_weight(self, tenant: str, weight: float) -> int:
@@ -779,7 +881,9 @@ class Invoker:
 
     def _start_boots(self) -> None:
         """Move backlogged boots onto free cores (FIFO, one core each)."""
+        started = False
         while self._boot_backlog and self._cores_in_use < self.cores:
+            started = True
             pool, container = self._boot_backlog.popleft()
             self._cores_in_use += 1
             self._booting += 1
@@ -794,12 +898,17 @@ class Invoker:
                 container.ready_at = self.loop.now
                 pool.containers.append(container)
                 pool.idle.append(container)
+                self._touch_pool(pool)
                 self._ensure_eviction_timer()
                 self._drain_queues()
 
             self.loop.schedule(
                 init.total_seconds, ready, label=f"coldstart:{container.container_id}"
             )
+        if started:
+            # Backlog shrank and cores filled (net-zero load, but the
+            # booting/pending split the snapshot exports changed).
+            self._touch()
 
     def _cancel_surplus_boot(self, pool: _ActionPool) -> None:
         """Drop one backlogged boot whose demand disappeared (if any).
@@ -847,6 +956,8 @@ class Invoker:
                     # Demand faded enough for keep-alive to fire: lower the
                     # growth ceiling back toward the pre-warmed floor.
                     self.autoscaler.on_reclaim(pool.spec.name)
+            if expired:
+                self._touch_pool(pool)
         if not self._any_dynamic_containers() and self._eviction_timer is not None:
             # Without dynamic containers there is nothing left to evict;
             # cancelling lets drain-style event-loop runs terminate.
@@ -889,17 +1000,47 @@ class Invoker:
         added again — each unit of demand is counted exactly once, not
         once as the boot it triggered and once as the queue entry waiting
         for that boot.
+
+        O(1): the queue term is the incrementally maintained
+        ``_queued_uncovered`` counter, not a re-sum over all pools.
         """
         return (
-            self._cores_in_use + len(self._boot_backlog) + self.queued_uncovered()
+            self._cores_in_use + len(self._boot_backlog) + self._queued_uncovered
         )
 
     def queued_uncovered(self) -> int:
-        """Waiting invocations not already represented by a boot in flight."""
-        return sum(
-            max(0, len(pool.queue) - pool.cold_starting)
-            for pool in self._pools.values()
-        )
+        """Waiting invocations not already represented by a boot in flight.
+
+        O(1): returns the counter ``_touch_pool`` keeps exact at every
+        queue/boot transition (``sum(max(0, queue - cold_starting))``
+        over all pools).
+        """
+        return self._queued_uncovered
+
+    def warmth(self, action: str) -> int:
+        """Containers (existing or booting) this invoker has for ``action``.
+
+        O(1), allocation-free — the live-invoker counterpart of
+        :meth:`InvokerSnapshot.warmth` for scan policies that want to skip
+        building snapshots.  Returns 0 for actions not hosted here.
+        """
+        pool = self._pools.get(action)
+        if pool is None:
+            return 0
+        return len(pool.containers) + pool.cold_starting
+
+    def has_idle(self, action: str) -> bool:
+        """True when ``action`` has at least one idle warm container here."""
+        pool = self._pools.get(action)
+        return pool is not None and bool(pool.idle)
+
+    def pool_order(self, action: str) -> int:
+        """The action's pool creation sequence number (insertion order).
+
+        Index-driven steal scans sort candidate actions by this so their
+        first-match iteration reproduces the full scan's pool-order walk.
+        """
+        return self._require_pool(action).seq
 
     @property
     def warm_hit_rate(self) -> float:
@@ -922,11 +1063,10 @@ class Invoker:
         """Waiting invocations per tenant (for one action or all of them)."""
         if action is not None:
             return self._require_pool(action).queue.tenants()
-        totals: Dict[str, int] = {}
+        totals: Counter = Counter()
         for pool in self._pools.values():
-            for tenant, depth in pool.queue.tenants().items():
-                totals[tenant] = totals.get(tenant, 0) + depth
-        return totals
+            totals.update(pool.queue.tenants())
+        return dict(totals)
 
     def arrivals_total(self, action: Optional[str] = None) -> int:
         """Lifetime invocations submitted (for one action or all of them)."""
@@ -949,7 +1089,20 @@ class Invoker:
         return [name for name, pool in self._pools.items() if pool.idle]
 
     def snapshot(self) -> InvokerSnapshot:
-        """Export the structured warmth/load view policies consume."""
+        """Export the structured warmth/load view policies consume.
+
+        Dirty-flag cached: every state mutation bumps ``_state_version``,
+        and while it is unchanged the previously built snapshot is
+        returned as-is — control-plane ticks over a mostly-quiet cluster
+        reuse unchanged snapshots instead of rebuilding the per-action
+        dicts.  Snapshots are frozen and treated as read-only by all
+        consumers; callers must not mutate the mapping fields.
+        """
+        if (
+            self._snapshot_cache is not None
+            and self._snapshot_version == self._state_version
+        ):
+            return self._snapshot_cache
         idle_warm: Dict[str, int] = {}
         warm_total: Dict[str, int] = {}
         boots: Dict[str, int] = {}
@@ -975,7 +1128,7 @@ class Invoker:
             )
             if room > 0:
                 headroom[name] = room
-        return InvokerSnapshot(
+        snap = InvokerSnapshot(
             invoker_id=self.invoker_id,
             cores=self.cores,
             cores_in_use=self._cores_in_use,
@@ -992,6 +1145,9 @@ class Invoker:
             prewarmed=prewarmed,
             arrivals_total=arrivals_total,
         )
+        self._snapshot_cache = snap
+        self._snapshot_version = self._state_version
+        return snap
 
     def stats(self) -> Dict[str, object]:
         """A snapshot of the invoker's counters (for tables and debugging)."""

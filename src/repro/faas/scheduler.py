@@ -56,12 +56,14 @@ remain deterministic.
 from __future__ import annotations
 
 import zlib
+from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SCHEDULER_POLICIES
 from repro.errors import PlatformError
 from repro.faas.action import ActionSpec
 from repro.faas.container import Container
+from repro.faas.index import ClusterIndex
 from repro.faas.invoker import CompletionCallback, Invoker, InvokerSnapshot
 from repro.faas.request import Invocation
 from repro.runtime.profiles import FunctionProfile
@@ -103,6 +105,23 @@ class SchedulingPolicy:
     """
 
     name = "abstract"
+    #: True for policies whose :meth:`select` consults a bound
+    #: :class:`~repro.faas.index.ClusterIndex` (the scheduler only builds
+    #: one when a consumer exists).
+    uses_index = False
+
+    def __init__(self) -> None:
+        #: Bound by the scheduler when an incrementally-maintained index
+        #: exists; ``None`` keeps the scan implementations.
+        self._index: Optional[ClusterIndex] = None
+
+    def bind_index(self, index: ClusterIndex) -> None:
+        """Give the policy a live cluster index to route from.
+
+        The indexed paths are bit-identical to the scans (same choice,
+        same tie-breaks) — binding an index changes cost, not behaviour.
+        """
+        self._index = index
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
         if len(invokers) == 1:
@@ -121,6 +140,7 @@ class RoundRobinPolicy(SchedulingPolicy):
     name = "round-robin"
 
     def __init__(self) -> None:
+        super().__init__()
         self._next = 0
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
@@ -142,8 +162,13 @@ class LeastLoadedPolicy(SchedulingPolicy):
     """Pick the invoker with the smallest load (ties go to the lowest index)."""
 
     name = "least-loaded"
+    uses_index = True
 
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        if self._index is not None and len(invokers) > 1:
+            # O(log N) amortised from the load-ordered index; identical
+            # argmin and (load, index) tie-break as the scan below.
+            return self._index.least_loaded()
         # Needs only the scalar load — skip building full snapshots.
         return min(range(len(invokers)), key=lambda i: (invokers[i].load, i))
 
@@ -192,8 +217,10 @@ class WarmAwarePolicy(SchedulingPolicy):
     """
 
     name = "warm-aware"
+    uses_index = True
 
     def __init__(self, cold_start_penalty: float = 32.0) -> None:
+        super().__init__()
         if cold_start_penalty < 0:
             raise PlatformError("cold_start_penalty must be >= 0")
         self.cold_start_penalty = cold_start_penalty
@@ -219,6 +246,34 @@ class WarmAwarePolicy(SchedulingPolicy):
     def penalty_for(self, action: str) -> float:
         """The action's cold-start penalty (calibrated, else the constant)."""
         return self._calibrated.get(action, self.cold_start_penalty)
+
+    def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
+        if len(invokers) == 1:
+            return 0
+        action = invocation.action
+        if self._index is not None:
+            # Indexed path: warm set + load heap, no snapshots, no
+            # per-invoker tuple allocation — same key, same tie-breaks.
+            return self._index.warm_aware_choose(action, self.penalty_for(action))
+        # Scan fallback: the same (load + penalty, load, index) argmin as
+        # :meth:`choose`, but over the live invokers' O(1) load/warmth
+        # accessors, allocation-free (no snapshots, no closure, no key
+        # tuples) — strict ``<`` comparisons keep ties on the lowest index.
+        cold_penalty = self.penalty_for(action)
+        best = 0
+        best_load = invokers[0].load
+        best_total = best_load + (
+            0.0 if invokers[0].warmth(action) > 0 else cold_penalty
+        )
+        for index in range(1, len(invokers)):
+            invoker = invokers[index]
+            load = invoker.load
+            total = load + (0.0 if invoker.warmth(action) > 0 else cold_penalty)
+            if total < best_total or (total == best_total and load < best_load):
+                best = index
+                best_load = load
+                best_total = total
+        return best
 
     def choose(
         self, snapshots: Sequence[InvokerSnapshot], invocation: Invocation
@@ -283,6 +338,7 @@ class Scheduler:
         *,
         work_stealing: bool = False,
         boot_steal_min_queue: Optional[int] = 8,
+        cluster_index: bool = True,
     ) -> None:
         if not invokers:
             raise PlatformError("a scheduler needs at least one invoker")
@@ -296,6 +352,16 @@ class Scheduler:
         #: Invocations moved between invokers by work stealing.
         self.steals = 0
         self._rebalancing = False
+        #: The incrementally-maintained cluster index (``None`` when
+        #: disabled, the cluster has one invoker, or nothing consumes it).
+        #: Routing and steal decisions are bit-identical with and without
+        #: it — the flag trades per-request scans for O(log N) deltas.
+        self.index: Optional[ClusterIndex] = None
+        if cluster_index and len(self.invokers) > 1 and (
+            work_stealing or policy.uses_index
+        ):
+            self.index = ClusterIndex(self.invokers)
+            policy.bind_index(self.index)
         if self.work_stealing and len(self.invokers) > 1:
             for invoker in self.invokers:
                 invoker.spare_capacity_callback = self._on_spare_capacity
@@ -363,13 +429,21 @@ class Scheduler:
         """
         if not self.work_stealing or len(self.invokers) < 2 or self._rebalancing:
             return
+        index = self.index
+        if index is not None and not index.any_queued():
+            # Event-driven fast path: no queued work anywhere means no
+            # steal victim can exist, so the scan below would find
+            # nothing.  This is the common case after most submits — the
+            # O(invokers² × actions) sweep only runs on real pressure.
+            return
+        find_steal = self._find_steal if index is None else self._find_steal_indexed
         self._rebalancing = True
         try:
             progressed = True
             while progressed:
                 progressed = False
                 for thief in self.invokers:
-                    steal = self._find_steal(thief)
+                    steal = find_steal(thief)
                     if steal is None:
                         continue
                     victim, action, newest = steal
@@ -457,6 +531,86 @@ class Scheduler:
             best_depth = depth
         return best
 
+    def _find_steal_indexed(
+        self, thief: Invoker
+    ) -> Optional[Tuple[Invoker, str, bool]]:
+        """Index-driven :meth:`_find_steal`: same decision, no full scans.
+
+        Candidate actions come from the index's queued-action set (an
+        action with no queued work anywhere can never yield a victim)
+        intersected with the thief's warmth state, and are visited in
+        the thief's pool creation order — exactly the order the scan
+        walks ``idle_warm_actions()`` / ``_growable_actions()`` — so the
+        first hit is the same steal the scan would have made.
+        """
+        if thief.cores_in_use >= thief.cores:
+            return None
+        index = self.index
+        assert index is not None
+        instant: List[Tuple[int, str]] = []
+        for action in index.queued_actions():
+            if thief.has_idle(action):
+                instant.append((thief.pool_order(action), action))
+        instant.sort()
+        for _seq, action in instant:
+            victim = self._steal_victim_indexed(action, thief, min_queue=1)
+            if victim is not None:
+                return victim, action, False
+        if self.boot_steal_min_queue is None:
+            return None
+        growable: List[Tuple[int, str]] = []
+        for action in index.queued_actions():
+            if not thief.has_idle(action) and thief.growth_headroom(action) > 0:
+                growable.append((thief.pool_order(action), action))
+        growable.sort()
+        for _seq, action in growable:
+            if not thief.queue_capacity(action):
+                continue
+            victim = self._steal_victim_indexed(
+                action, thief,
+                min_queue=self.boot_steal_min_queue,
+                require_exhausted=True,
+            )
+            if victim is not None:
+                return victim, action, True
+        return None
+
+    def _steal_victim_indexed(
+        self,
+        action: str,
+        thief: Invoker,
+        *,
+        min_queue: int,
+        require_exhausted: bool = False,
+    ) -> Optional[Invoker]:
+        """Index-driven :meth:`_steal_victim`: same victim, same tie-breaks.
+
+        Visits only invokers with a non-empty queue for the action, in
+        ascending position order (the scan's iteration order over all
+        invokers, minus the zero-depth ones it would skip anyway), with
+        the exact same condition sequence — deepest queue wins, ties go
+        to the lowest position, growth-exhaustion checked after depth.
+        """
+        assert self.index is not None
+        depths = self.index.depths_for(action)
+        if not depths:
+            return None
+        best: Optional[Invoker] = None
+        best_depth = 0
+        thief_position = thief.index_position
+        for position in sorted(depths):
+            if position == thief_position:
+                continue
+            depth = depths[position]
+            if depth < min_queue or depth <= best_depth:
+                continue
+            invoker = self.invokers[position]
+            if require_exhausted and invoker.growth_headroom(action) > 0:
+                continue
+            best = invoker
+            best_depth = depth
+        return best
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -467,11 +621,10 @@ class Scheduler:
 
     def queued_by_tenant(self) -> Dict[str, int]:
         """Cluster-wide waiting invocations per tenant, across all invokers."""
-        totals: Dict[str, int] = {}
+        totals: Counter = Counter()
         for invoker in self.invokers:
-            for tenant, depth in invoker.queued_by_tenant().items():
-                totals[tenant] = totals.get(tenant, 0) + depth
-        return totals
+            totals.update(invoker.queued_by_tenant())
+        return dict(totals)
 
     def routing_skew(self) -> float:
         """Max/mean invocations routed per invoker (1.0 = perfectly even).

@@ -1,6 +1,7 @@
 """Integration tests for the perf-trace stack (sketch mode + fan-out).
 
-Two end-to-end claims from the bounded-metrics work are pinned here:
+End-to-end claims from the bounded-metrics and indexed-routing work are
+pinned here:
 
 * **Control-plane parity** — swapping the metrics collector into sketch
   mode must not change what the simulation *does*.  Metrics are
@@ -11,9 +12,16 @@ Two end-to-end claims from the bounded-metrics work are pinned here:
   results whether the per-seed runs execute serially in-process or
   fanned out across spawn-started worker processes, and the per-seed
   sketches pool losslessly.
+* **Published-trace replay** — ``perf-trace --trace-file`` drives the
+  same measurement path from a real Azure Functions CSV instead of the
+  synthetic diurnal generator, deterministically.
+* **Cluster-scale routing parity** — the ``--shape cluster-scale``
+  harness runs bit-identical simulations under indexed and scan
+  routing (the acceptance contract of the cluster index).
 
-Both use reduced scales; the full-size numbers live in
-``benchmarks/test_bench_perf_trace.py`` and ``BENCH_perf.json``.
+All use reduced scales; the full-size numbers live in
+``benchmarks/test_bench_perf_trace.py``,
+``benchmarks/test_bench_cluster_index.py`` and ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiments import (
+    _cluster_scale_run,
     _perf_trace_run,
     pooled_sketch_stats,
     run_replicated,
@@ -127,3 +136,84 @@ class TestReplicatedFanOut:
     def test_empty_seed_list_raises(self):
         with pytest.raises(ValueError):
             run_replicated(_small_trace_worker, seeds=())
+
+
+def _write_azure_csv(path, rows):
+    """A minimal invocations-per-function CSV in the published layout."""
+    minutes = len(rows[0][1])
+    header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+        str(minute + 1) for minute in range(minutes)
+    ]
+    lines = [",".join(header)]
+    for name, counts in rows:
+        lines.append(
+            ",".join(["owner", "app", name, "http"] + [str(c) for c in counts])
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestAzureTraceReplay:
+    def test_trace_file_drives_the_perf_trace_harness(self, tmp_path):
+        csv_path = tmp_path / "invocations_per_function.csv"
+        # Ten "minutes" with a mid-trace hump, heaviest function first.
+        _write_azure_csv(csv_path, [
+            ("fn-heavy", [5, 8, 20, 40, 60, 60, 40, 20, 8, 5]),
+            ("fn-light", [1, 1, 2, 4, 6, 6, 4, 2, 1, 1]),
+        ])
+        result = _perf_trace_run(
+            "sketch", invocations=2_000, seed=7, trace_file=str(csv_path)
+        )
+        assert result["trace_file"] == str(csv_path)
+        assert result["arrivals"] > 0
+        assert result["completed"] > 0
+        assert 0.0 < result["goodput_fraction"] <= 1.0
+
+    def test_trace_file_replay_is_deterministic(self, tmp_path):
+        csv_path = tmp_path / "trace.csv"
+        _write_azure_csv(csv_path, [
+            ("fn-a", [10, 30, 50, 30, 10]),
+            ("fn-b", [2, 6, 10, 6, 2]),
+        ])
+        first = _perf_trace_run(
+            "sketch", invocations=1_500, seed=11, trace_file=str(csv_path)
+        )
+        second = _perf_trace_run(
+            "sketch", invocations=1_500, seed=11, trace_file=str(csv_path)
+        )
+        assert _drop_timing(first) == _drop_timing(second)
+
+    def test_trace_file_changes_the_arrival_pattern(self, tmp_path):
+        # Same seed, synthetic vs file-driven: different traces, same
+        # measurement path.
+        csv_path = tmp_path / "trace.csv"
+        _write_azure_csv(csv_path, [("fn-a", [0, 0, 100, 0, 0])])
+        synthetic = _perf_trace_run("sketch", invocations=1_500, seed=11)
+        replayed = _perf_trace_run(
+            "sketch", invocations=1_500, seed=11, trace_file=str(csv_path)
+        )
+        assert synthetic["trace_file"] is None
+        assert replayed["trace_file"] == str(csv_path)
+        assert replayed["e2e_sketch"] != synthetic["e2e_sketch"]
+
+
+class TestClusterScaleParity:
+    def test_indexed_and_scan_runs_are_bit_identical(self):
+        # The acceptance contract at integration scale: the full harness
+        # (diurnal trace, warm-aware routing, work stealing) behaves
+        # identically under both routing implementations.
+        kwargs = dict(invokers=8, actions=32, invocations=2_500, seed=13)
+        indexed = _cluster_scale_run("indexed", **kwargs)
+        scan = _cluster_scale_run("scan", **kwargs)
+        assert indexed["arrivals"] == scan["arrivals"] > 0
+        assert indexed["goodput_fraction"] == scan["goodput_fraction"]
+        assert indexed["cold_starts"] == scan["cold_starts"]
+        assert indexed["steals"] == scan["steals"] > 0
+        assert indexed["routed_per_invoker"] == scan["routed_per_invoker"]
+        assert indexed["p99_ms"] == scan["p99_ms"]
+
+    def test_unknown_routing_is_rejected(self):
+        from repro.errors import PlatformError
+        with pytest.raises(PlatformError):
+            _cluster_scale_run(
+                "magic", invokers=2, actions=4, invocations=100, seed=1
+            )

@@ -142,3 +142,62 @@ class TestCli:
 
         with pytest.raises(WorkloadError):
             main(["demo-leak", "--benchmark", "get-time"])
+
+
+class TestPerfTraceCli:
+    def test_shape_choices_and_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["perf-trace"])
+        assert args.shape == "metrics"
+        assert args.trace_file is None
+        assert args.cluster_invocations == 30_000
+        args = parser.parse_args(["perf-trace", "--shape", "cluster-scale"])
+        assert args.shape == "cluster-scale"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["perf-trace", "--shape", "bogus"])
+
+    def test_merge_preserves_sections_not_regenerated(self, tmp_path):
+        import json
+
+        from repro.cli import _merge_perf_sections
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "benchmark": "perf-trace",
+            "modes": {"exact": {"invocations_per_second": 1.0}},
+            "cluster_scale": {"benchmark": "cluster-scale", "points": {}},
+        }))
+        # Regenerating only the metrics shape keeps the cluster section.
+        merged = _merge_perf_sections(str(path), {
+            "metrics": {"benchmark": "perf-trace", "modes": {}},
+        })
+        assert merged["modes"] == {}
+        assert merged["cluster_scale"]["benchmark"] == "cluster-scale"
+        # Regenerating only the cluster shape keeps the metrics section.
+        merged = _merge_perf_sections(str(path), {
+            "cluster-scale": {"benchmark": "cluster-scale", "points": {"a": 1}},
+        })
+        assert merged["modes"] == {"exact": {"invocations_per_second": 1.0}}
+        assert merged["cluster_scale"]["points"] == {"a": 1}
+        # Both regenerated: nothing survives from the file.
+        merged = _merge_perf_sections(str(path), {
+            "metrics": {"benchmark": "perf-trace", "modes": {"m": {}}},
+            "cluster-scale": {"benchmark": "cluster-scale", "points": {}},
+        })
+        assert merged["modes"] == {"m": {}}
+        assert merged["cluster_scale"]["points"] == {}
+
+    def test_merge_tolerates_missing_or_corrupt_baseline(self, tmp_path):
+        from repro.cli import _merge_perf_sections
+
+        missing = tmp_path / "nope.json"
+        merged = _merge_perf_sections(str(missing), {
+            "cluster-scale": {"benchmark": "cluster-scale", "points": {}},
+        })
+        assert set(merged) == {"cluster_scale"}
+        corrupt = tmp_path / "bad.json"
+        corrupt.write_text("{not json")
+        merged = _merge_perf_sections(str(corrupt), {
+            "metrics": {"benchmark": "perf-trace", "modes": {}},
+        })
+        assert merged == {"benchmark": "perf-trace", "modes": {}}
