@@ -24,6 +24,20 @@ the correctness oracle, not the tracked number), and requires the
 candidate's bit-identity cross-checks (equal goodput, cold starts,
 steals, and per-invoker routing between indexed and scan) to hold.
 
+A third section, ``warmth_spectrum`` (``perf-trace --shape
+warmth-spectrum``), compares spectrum-on vs spectrum-off runs of the
+same diurnal trace.  The gate applies the throughput floor to each
+regime's invocations-per-second and requires the headline identity
+flags the benchmark asserts: both regimes achieve **equal goodput**, a
+**majority** of rising-edge cold boots convert to restores, restores
+**outnumber** the remaining cold boots on the rising edge, and p99 is
+**reduced** — a spectrum that stops paying for itself is a regression
+even when it stays fast.
+
+Every section present in the baseline must also be present in the
+candidate: a benchmark that silently stops running is the quietest
+regression of all, so a missing section fails with a message naming it.
+
 The check fails (exit 1) when any shared mode's throughput drops more
 than ``REPRO_PERF_TOLERANCE`` (default 0.25, i.e. 25 %) below baseline,
 or when the candidate's fidelity cross-checks (equal goodput and
@@ -51,9 +65,33 @@ def load(path: Path) -> dict:
         report = json.load(handle)
     has_metrics = report.get("benchmark") == "perf-trace" and "modes" in report
     has_cluster = "points" in report.get("cluster_scale", {})
-    if not has_metrics and not has_cluster:
+    has_warmth = "regimes" in report.get("warmth_spectrum", {})
+    if not has_metrics and not has_cluster and not has_warmth:
         raise SystemExit(f"{path} is not a perf-trace report")
     return report
+
+
+#: Section name -> predicate telling whether a report carries it.  Used to
+#: fail loudly when the baseline tracks a section the candidate never ran —
+#: a benchmark that silently disappears from CI must not pass the gate.
+_SECTIONS = {
+    "modes (exact-vs-sketch metrics)": lambda report: "modes" in report,
+    "cluster_scale": lambda report: "points" in report.get("cluster_scale", {}),
+    "warmth_spectrum": lambda report: "regimes" in report.get("warmth_spectrum", {}),
+}
+
+
+def check_sections_present(
+    candidate: dict, baseline: dict, failures: list[str]
+) -> None:
+    """Every section the baseline tracks must exist in the candidate."""
+    for name, present in _SECTIONS.items():
+        if present(baseline) and not present(candidate):
+            failures.append(
+                f"baseline tracks the {name} section but the candidate run "
+                f"has none — the benchmark did not run (re-run perf-trace "
+                f"with a --shape that includes it, e.g. --shape all)"
+            )
 
 
 def check_metrics(
@@ -139,6 +177,52 @@ def check_cluster_scale(
             )
 
 
+#: Identity/quality flags the warmth-spectrum benchmark computes when both
+#: regimes ran.  Each must be true in the candidate: the spectrum's whole
+#: claim is faster tails at the *same* goodput via restores, and a run where
+#: any leg of that claim fails has regressed regardless of throughput.
+_WARMTH_IDENTITY_FLAGS = (
+    "equal_goodput",
+    "majority_converted",
+    "restores_outnumber_boots",
+    "p99_reduced",
+)
+
+
+def check_warmth_spectrum(
+    candidate: dict, baseline: dict, tolerance: float, failures: list[str]
+) -> None:
+    """Gate the spectrum-on-vs-off section (when the candidate has it)."""
+    cand_section = candidate.get("warmth_spectrum", {})
+    cand_regimes = cand_section.get("regimes", {})
+    base_regimes = baseline.get("warmth_spectrum", {}).get("regimes", {})
+    if not cand_regimes:
+        return
+    for flag in _WARMTH_IDENTITY_FLAGS:
+        if cand_section.get(flag) is False:
+            failures.append(
+                f"warmth-spectrum: headline property {flag} no longer holds"
+            )
+    for regime in sorted(cand_regimes):
+        got = cand_regimes[regime]["invocations_per_second"]
+        base_regime = base_regimes.get(regime)
+        if base_regime is None:
+            continue
+        want = base_regime["invocations_per_second"]
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{regime:>7}: {got:10,.0f} inv/s vs baseline {want:10,.0f} "
+            f"(floor {floor:10,.0f}) {verdict}  [warmth spectrum]"
+        )
+        if got < floor:
+            failures.append(
+                f"warmth-spectrum regime {regime!r} throughput {got:,.0f} "
+                f"inv/s is more than {tolerance:.0%} below the baseline "
+                f"{want:,.0f} inv/s"
+            )
+
+
 def main(argv: list[str]) -> int:
     if not 1 <= len(argv) <= 2:
         print(__doc__, file=sys.stderr)
@@ -151,8 +235,10 @@ def main(argv: list[str]) -> int:
     baseline = load(baseline_path)
 
     failures: list[str] = []
+    check_sections_present(candidate, baseline, failures)
     check_metrics(candidate, baseline, tolerance, failures)
     check_cluster_scale(candidate, baseline, tolerance, failures)
+    check_warmth_spectrum(candidate, baseline, tolerance, failures)
 
     if failures:
         for failure in failures:

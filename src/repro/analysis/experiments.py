@@ -872,6 +872,9 @@ def measure_latency_under_load(
     control_plane: bool = False,
     planner: str = "reactive",
     forecast_period_seconds: Optional[float] = None,
+    restorable_snapshots: bool = False,
+    snapshot_budget: Optional[int] = None,
+    isolation_mechanism: str = "gh",
     caller_for=None,
     seed: int = 20230501,
     **mechanism_options,
@@ -897,7 +900,10 @@ def measure_latency_under_load(
     :class:`~repro.config.SimulationConfig` fields of the same names, as
     do the control-plane knobs (``control_plane``, ``planner``,
     ``forecast_period_seconds`` — run the SLO control loop with the
-    reactive or the forecast-driven predictive capacity planner).
+    reactive or the forecast-driven predictive capacity planner) and the
+    warmth-spectrum knobs (``restorable_snapshots``, ``snapshot_budget``,
+    ``isolation_mechanism`` — demote evicted containers to restorable
+    snapshots and price their restores by the chosen mechanism).
     """
     if arrivals not in ("poisson", "azure", "azure-diurnal", "azure-file"):
         raise ValueError(f"unknown arrival process {arrivals!r}")
@@ -920,6 +926,9 @@ def measure_latency_under_load(
             control_plane=control_plane,
             planner=planner,
             forecast_period_seconds=forecast_period_seconds,
+            restorable_snapshots=restorable_snapshots,
+            snapshot_budget=snapshot_budget,
+            isolation_mechanism=isolation_mechanism,
             seed=seed,
         )
     )
@@ -1457,6 +1466,9 @@ def run_slo_control(
     forecast_amplitude: float = 0.9,
     forecast_burst_fraction: float = 0.0,
     metrics_mode: str = "exact",
+    restorable_snapshots: bool = False,
+    snapshot_budget: Optional[int] = None,
+    isolation_mechanism: str = "gh",
     seed: int = 20230501,
 ) -> SLOControlResult:
     """The control-plane experiment: closed loops vs hand-set (or no) knobs.
@@ -1537,6 +1549,9 @@ def run_slo_control(
                     max_queue_per_action=max_queue_per_action,
                     admission_policy=admission_policy,
                     control_plane=control,
+                    restorable_snapshots=restorable_snapshots,
+                    snapshot_budget=snapshot_budget,
+                    isolation_mechanism=isolation_mechanism,
                     seed=seed,
                 ),
                 tenant_slos=tenant_slos,
@@ -1625,6 +1640,9 @@ def run_slo_control(
                     max_containers_per_action=1,
                     autoscale=True,
                     control_plane=control,
+                    restorable_snapshots=restorable_snapshots,
+                    snapshot_budget=snapshot_budget,
+                    isolation_mechanism=isolation_mechanism,
                     seed=seed,
                 )
             )
@@ -1674,6 +1692,9 @@ def run_slo_control(
             amplitude=forecast_amplitude,
             burst_fraction=forecast_burst_fraction,
             metrics_mode=metrics_mode,
+            restorable_snapshots=restorable_snapshots,
+            snapshot_budget=snapshot_budget,
+            isolation_mechanism=isolation_mechanism,
             seed=seed,
         )
 
@@ -1736,6 +1757,9 @@ def _run_forecast_comparison(
     amplitude: float,
     burst_fraction: float,
     metrics_mode: str = "exact",
+    restorable_snapshots: bool = False,
+    snapshot_budget: Optional[int] = None,
+    isolation_mechanism: str = "gh",
     seed: int,
 ) -> Dict[str, ForecastOutcome]:
     """Reactive vs predictive planner under diurnal arrivals, equal budget.
@@ -1785,6 +1809,9 @@ def _run_forecast_comparison(
                     period if planner == "predictive" else None
                 ),
                 metrics_mode=metrics_mode,
+                restorable_snapshots=restorable_snapshots,
+                snapshot_budget=snapshot_budget,
+                isolation_mechanism=isolation_mechanism,
                 seed=seed,
             )
         )
@@ -2530,6 +2557,271 @@ def run_cluster_scale(
         "seed": int(seed),
         "points": by_point,
     }
+
+
+# ---------------------------------------------------------------------------
+# Warmth-spectrum baseline: restore-vs-boot under diurnal arrivals
+# ---------------------------------------------------------------------------
+
+#: The two regimes the warmth-spectrum baseline compares at equal live
+#: budget: keep-alive eviction *destroys* ("off", the PR 7 behaviour) vs
+#: *demotes to a restorable snapshot* ("on", the spectrum).
+WARMTH_SPECTRUM_REGIMES: Tuple[str, ...] = ("off", "on")
+
+
+def warmth_spectrum_config(
+    regime: str,
+    *,
+    cores: int = 4,
+    invokers: int = 4,
+    keep_alive_seconds: float,
+    snapshot_budget: int = 8,
+    isolation_mechanism: str = "gh",
+    seed: int = 20230501,
+) -> SimulationConfig:
+    """The warmth-spectrum trace's configuration, one regime at a time.
+
+    Both regimes share every knob — same cores, same per-action container
+    ceiling (the live budget), same keep-alive, same routing — except the
+    spectrum itself: regime ``"on"`` demotes evicted containers into a
+    bounded per-invoker snapshot budget and restores them on demand,
+    priced by ``isolation_mechanism``; regime ``"off"`` destroys them, so
+    every post-trough warm-up is a full cold boot.
+    """
+    if regime not in WARMTH_SPECTRUM_REGIMES:
+        raise PlatformError(
+            f"unknown regime {regime!r}; choose one of {WARMTH_SPECTRUM_REGIMES}"
+        )
+    return SimulationConfig(
+        cores=cores,
+        invokers=invokers,
+        containers_per_action=1,
+        # Hash affinity concentrates each action's diurnal wave on its
+        # home invoker, so the trough decays exactly the capacity the
+        # next rising edge needs back; work stealing spreads the peaks.
+        scheduler_policy="hash-affinity",
+        work_stealing=True,
+        max_containers_per_action=cores,
+        keep_alive_seconds=keep_alive_seconds,
+        control_plane=False,
+        metrics_mode="sketch",
+        metrics_bucket_seconds=1.0,
+        restorable_snapshots=(regime == "on"),
+        snapshot_budget=(snapshot_budget if regime == "on" else None),
+        isolation_mechanism=isolation_mechanism,
+        seed=seed,
+    )
+
+
+#: Arrivals per diurnal cycle of the warmth-spectrum trace.  Cycles scale
+#: with the requested invocations so the *virtual-time* dynamics of one
+#: cycle (period, keep-alive, edge steepness relative to the fixed boot
+#: time) are identical at every scale — a longer run measures more
+#: rising-edge storms, not slower ones.
+WARMTH_SPECTRUM_INVOCATIONS_PER_CYCLE = 5_000
+
+
+def _warmth_spectrum_run(
+    regime: str,
+    *,
+    invocations: int,
+    seed: int = 20230501,
+    cores: int = 4,
+    invokers: int = 4,
+    actions: int = 8,
+    load_factor: float = 0.75,
+    isolation_mechanism: str = "gh",
+) -> Dict[str, object]:
+    """Replay one diurnal warmth-spectrum trace under one regime.
+
+    The keep-alive is a fraction of the diurnal period, so warm capacity
+    built at each peak decays during the trough; what every rising edge
+    then pays — cold boots ("off") or priced restores ("on") — is the
+    comparison.  The load factor is high enough that the amplitude-0.9
+    peaks transiently outrun the live-warm capacity, so how *fast* the
+    cluster re-warms (a ~0.5 s boot vs a sub-millisecond gh restore)
+    shows up in the backlog behind every edge, not just in the dispatch
+    classification.  Cycle 0 is warm-up: its cold-start transient is
+    excluded from the latency window and the rising-edge counts alike.
+    """
+    profile = microbenchmark_profile(16, 2)
+    offered = (
+        estimate_cluster_capacity_rps(profile, invokers=invokers, cores=cores)
+        * load_factor
+    )
+    duration = 1.1 * invocations / offered
+    cycles = max(2, invocations // WARMTH_SPECTRUM_INVOCATIONS_PER_CYCLE)
+    period = duration / cycles
+    platform = FaaSCluster(
+        warmth_spectrum_config(
+            regime,
+            cores=cores,
+            invokers=invokers,
+            keep_alive_seconds=period / 8,
+            snapshot_budget=2 * cores,
+            isolation_mechanism=isolation_mechanism,
+            seed=seed,
+        )
+    )
+    deployed = _deploy_action_copies(
+        platform,
+        profile,
+        "gh",
+        actions,
+        action_names=balanced_action_names(actions, invokers=invokers, prefix="wave"),
+    )
+    offsets, sequence = azure_diurnal_arrivals(
+        deployed,
+        duration_seconds=duration,
+        mean_rps=offered,
+        rng=platform.rng_streams.stream("azure-trace"),
+        period_seconds=period,
+        amplitude=0.9,
+        burst_fraction=0.0,
+    )
+    client = OpenLoopClient(
+        platform,
+        deployed,
+        trace=offsets,
+        action_sequence=sequence,
+        duration_seconds=duration,
+        warmup_seconds=period,
+        caller_for=_perf_trace_caller,
+        lazy_trace=True,
+    )
+    gc.collect()
+    started = time.perf_counter()
+    result = client.run()
+    wall = time.perf_counter() - started
+    scheduler = platform.scheduler
+    if scheduler.index is not None:
+        scheduler.index.verify()
+    rising = diurnal_rising_windows(duration, period, skip_cycles=1)
+    cold_start_times = sorted(
+        at for inv in platform.invokers for at in inv.cold_start_times
+    )
+    cold_dispatch_times = sorted(
+        at for inv in platform.invokers for at in inv.cold_dispatch_times
+    )
+    restore_times = sorted(
+        at for inv in platform.invokers for at in inv.restore_times
+    )
+    restore_dispatch_times = sorted(
+        at for inv in platform.invokers for at in inv.restore_dispatch_times
+    )
+    return {
+        "regime": regime,
+        "seed": seed,
+        "isolation_mechanism": isolation_mechanism,
+        "arrivals": result.issued,
+        "completed": result.completed,
+        "goodput_fraction": result.goodput_fraction,
+        "p99_ms": result.e2e.p99 * 1000.0 if result.e2e else None,
+        "mean_ms": result.e2e.mean * 1000.0 if result.e2e else None,
+        "cold_starts": len(cold_start_times),
+        "cold_dispatches": len(cold_dispatch_times),
+        "warm_hits": sum(inv.warm_hits for inv in platform.invokers),
+        "demotes": sum(inv.demotes for inv in platform.invokers),
+        "restores": sum(inv.restores for inv in platform.invokers),
+        "restore_dispatches": sum(
+            inv.restore_dispatches for inv in platform.invokers
+        ),
+        "snapshot_discards": sum(
+            inv.snapshot_discards for inv in platform.invokers
+        ),
+        "snapshots_held": sum(inv.snapshots_held() for inv in platform.invokers),
+        "restore_core_seconds": sum(
+            inv.restore_core_seconds for inv in platform.invokers
+        ),
+        "rising_cold_starts": _count_in_windows(cold_start_times, rising),
+        "rising_cold_dispatches": _count_in_windows(cold_dispatch_times, rising),
+        "rising_restores": _count_in_windows(restore_times, rising),
+        "rising_restore_dispatches": _count_in_windows(
+            restore_dispatch_times, rising
+        ),
+        "steals": scheduler.steals,
+        "wall_seconds": wall,
+        "invocations_per_second": result.issued / wall if wall > 0 else 0.0,
+        "duration_seconds": duration,
+        "offered_rps": offered,
+    }
+
+
+def _warmth_spectrum_worker(
+    job: Tuple[str, int, int, str]
+) -> Dict[str, object]:
+    """Child-process entry: one warmth-spectrum regime, own peak RSS."""
+    regime, invocations, seed, mechanism = job
+    summary = _warmth_spectrum_run(
+        regime,
+        invocations=invocations,
+        seed=seed,
+        isolation_mechanism=mechanism,
+    )
+    summary["max_rss_mb"] = _peak_rss_mb()
+    return summary
+
+
+def run_warmth_spectrum(
+    *,
+    invocations: int = 150_000,
+    seed: int = 20230501,
+    processes: int = 1,
+    isolation_mechanism: str = "gh",
+) -> Dict[str, object]:
+    """The tracked restore-vs-boot baseline: spectrum on vs off, equal budget.
+
+    Replays the identical diurnal trace once per regime, each in its own
+    spawn-started child process (as in :func:`run_perf_trace`), and
+    reports the headline comparison: how many of the rising-edge cold
+    boots the spectrum converted into priced restores, and what that did
+    to tail latency at equal goodput.
+    """
+    jobs = [
+        (regime, int(invocations), int(seed), isolation_mechanism)
+        for regime in WARMTH_SPECTRUM_REGIMES
+    ]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(min(max(1, processes), len(jobs)), maxtasksperchild=1) as pool:
+        if processes > 1:
+            summaries = pool.map(_warmth_spectrum_worker, jobs)
+        else:
+            summaries = [pool.apply(_warmth_spectrum_worker, (job,)) for job in jobs]
+    by_regime = {summary["regime"]: summary for summary in summaries}
+    report: Dict[str, object] = {
+        "benchmark": "warmth-spectrum",
+        "invocations_requested": int(invocations),
+        "seed": int(seed),
+        "isolation_mechanism": isolation_mechanism,
+        "regimes": by_regime,
+    }
+    if set(by_regime) >= {"off", "on"}:
+        off, on = by_regime["off"], by_regime["on"]
+        report["equal_goodput"] = (
+            off["goodput_fraction"] == on["goodput_fraction"]
+        )
+        off_rising = off["rising_cold_starts"]
+        report["rising_cold_conversion"] = (
+            1.0 - on["rising_cold_starts"] / off_rising
+            if off_rising > 0
+            else None
+        )
+        report["majority_converted"] = (
+            off_rising > 0 and on["rising_cold_starts"] < off_rising / 2
+        )
+        report["restores_outnumber_boots"] = (
+            on["rising_restores"] > on["rising_cold_starts"]
+        )
+        off_p99, on_p99 = off["p99_ms"], on["p99_ms"]
+        report["p99_reduced"] = (
+            off_p99 is not None and on_p99 is not None and on_p99 < off_p99
+        )
+        report["p99_cut_fraction"] = (
+            1.0 - on_p99 / off_p99
+            if off_p99 and on_p99 is not None
+            else None
+        )
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -44,11 +44,13 @@ from repro.analysis.experiments import (
     run_perf_trace,
     run_slo_control,
     run_tenant_fairness,
+    run_warmth_spectrum,
 )
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
 from repro.config import (
     ADMISSION_POLICIES,
+    ISOLATION_MECHANISMS,
     METRICS_MODES,
     PLANNER_KINDS,
     SCHEDULER_POLICIES,
@@ -199,6 +201,9 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
                 control_plane=args.planner is not None,
                 planner=args.planner or "reactive",
                 forecast_period_seconds=args.forecast_period,
+                restorable_snapshots=args.restorable_snapshots,
+                snapshot_budget=args.snapshot_budget,
+                isolation_mechanism=args.isolation_mechanism,
             )
             rows.append([
                 point.strategy,
@@ -282,6 +287,9 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
         capacity_warmup_seconds=min(args.warmup, args.duration / 2),
         forecast_duration_seconds=args.forecast_duration,
         forecast_cycles=args.forecast_cycles,
+        restorable_snapshots=args.restorable_snapshots,
+        snapshot_budget=args.snapshot_budget,
+        isolation_mechanism=args.isolation_mechanism,
     )
     if result.quota:
         rows = []
@@ -392,10 +400,13 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
 
 
 #: ``perf-trace --shape`` choices: which tracked traces to (re)measure.
-PERF_TRACE_SHAPES = ("metrics", "cluster-scale", "all")
+PERF_TRACE_SHAPES = ("metrics", "cluster-scale", "warmth-spectrum", "all")
 
 #: ``--quick`` arrivals per cluster-scale point: the CI smoke scale.
 CLUSTER_SCALE_QUICK_INVOCATIONS = 8_000
+
+#: ``--quick`` arrivals for the warmth-spectrum trace: the CI smoke scale.
+WARMTH_SPECTRUM_QUICK_INVOCATIONS = 20_000
 
 
 def _run_perf_trace_metrics(args: argparse.Namespace) -> dict:
@@ -497,14 +508,65 @@ def _run_perf_trace_cluster_scale(args: argparse.Namespace) -> dict:
     return report
 
 
+def _run_perf_trace_warmth(args: argparse.Namespace) -> dict:
+    """The warmth-spectrum shape of ``perf-trace``: restore vs boot."""
+    invocations = (
+        WARMTH_SPECTRUM_QUICK_INVOCATIONS if args.quick else args.warmth_invocations
+    )
+    report = run_warmth_spectrum(
+        invocations=invocations,
+        seed=args.seed,
+        processes=args.processes,
+        isolation_mechanism=args.isolation_mechanism,
+    )
+    report["quick"] = bool(args.quick)
+    rows = [
+        [
+            summary["regime"],
+            str(summary["arrivals"]),
+            str(summary["cold_dispatches"]),
+            str(summary["restore_dispatches"]),
+            str(summary["warm_hits"]),
+            str(summary["rising_cold_starts"]),
+            str(summary["rising_restores"]),
+            f"{summary['goodput_fraction'] * 100:.2f}%",
+            f"{summary['p99_ms']:.1f}" if summary["p99_ms"] is not None else "-",
+            f"{summary['wall_seconds']:.1f}",
+        ]
+        for summary in report["regimes"].values()
+    ]
+    print(render_table(
+        ["spectrum", "arrivals", "cold disp", "restore disp", "warm hits",
+         "rising cold boots", "rising restores", "goodput", "p99 (ms)",
+         "wall (s)"],
+        rows,
+        title=(
+            f"warmth-spectrum — {invocations:,} requested arrivals, diurnal "
+            f"trace, restores priced as {args.isolation_mechanism} "
+            "(each regime in its own process)"
+        ),
+    ))
+    if "rising_cold_conversion" in report:
+        conversion = report["rising_cold_conversion"]
+        cut = report["p99_cut_fraction"]
+        print(
+            "spectrum on vs off: "
+            f"{conversion * 100:.0f}% of rising-edge cold boots converted "
+            f"to restores, p99 {'-' if cut is None else f'{cut * 100:.0f}%'} "
+            f"lower at equal goodput={report['equal_goodput']}"
+        )
+    return report
+
+
 def _merge_perf_sections(path: str, sections: dict) -> dict:
     """Merge freshly measured sections into the baseline file's contents.
 
     The baseline JSON keeps the metrics report at top level (its historic
-    layout) with the cluster-scale report nested under ``cluster_scale``.
-    Shapes that did not run this invocation are preserved from the
-    existing file, so ``--shape cluster-scale`` does not clobber the
-    tracked metrics baseline and vice versa.
+    layout) with the cluster-scale and warmth-spectrum reports nested
+    under ``cluster_scale`` / ``warmth_spectrum``.  Shapes that did not
+    run this invocation are preserved from the existing file, so
+    ``--shape cluster-scale`` does not clobber the tracked metrics
+    baseline and vice versa.
     """
     existing: dict = {}
     try:
@@ -517,11 +579,15 @@ def _merge_perf_sections(path: str, sections: dict) -> dict:
         merged = dict(existing)
     else:
         merged = dict(metrics)
-        if "cluster_scale" in existing:
-            merged["cluster_scale"] = existing["cluster_scale"]
+        for nested in ("cluster_scale", "warmth_spectrum"):
+            if nested in existing:
+                merged[nested] = existing[nested]
     cluster = sections.get("cluster-scale")
     if cluster is not None:
         merged["cluster_scale"] = cluster
+    warmth = sections.get("warmth-spectrum")
+    if warmth is not None:
+        merged["warmth_spectrum"] = warmth
     return merged
 
 
@@ -533,6 +599,8 @@ def cmd_perf_trace(args: argparse.Namespace) -> int:
         sections["metrics"] = _run_perf_trace_metrics(args)
     if "cluster-scale" in shapes:
         sections["cluster-scale"] = _run_perf_trace_cluster_scale(args)
+    if "warmth-spectrum" in shapes:
+        sections["warmth-spectrum"] = _run_perf_trace_warmth(args)
     if args.output:
         merged = _merge_perf_sections(args.output, sections)
         with open(args.output, "w") as handle:
@@ -657,6 +725,18 @@ def build_parser() -> argparse.ArgumentParser:
                                   "forecaster — e.g. the diurnal cycle "
                                   "length under --arrivals azure-diurnal "
                                   "(default: level+trend only)")
+    load_parser.add_argument("--restorable-snapshots", action="store_true",
+                             help="warmth spectrum: keep-alive eviction "
+                                  "demotes containers to restorable "
+                                  "snapshots instead of destroying them")
+    load_parser.add_argument("--snapshot-budget", type=int, default=None,
+                             help="held snapshots per invoker under "
+                                  "--restorable-snapshots (LRU discard "
+                                  "beyond it; default: unbounded)")
+    load_parser.add_argument("--isolation-mechanism",
+                             choices=ISOLATION_MECHANISMS, default="gh",
+                             help="mechanism whose cost model prices "
+                                  "snapshot restores (default: gh)")
     load_parser.set_defaults(func=cmd_latency_under_load)
 
     fairness_parser = subparsers.add_parser(
@@ -715,6 +795,19 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="diurnal cycles within the forecast "
                                      "part's duration (cycle 0 builds the "
                                      "forecaster's history)")
+    control_parser.add_argument("--restorable-snapshots", action="store_true",
+                                help="warmth spectrum: keep-alive eviction "
+                                     "(and planner drains) demote containers "
+                                     "to restorable snapshots instead of "
+                                     "destroying them")
+    control_parser.add_argument("--snapshot-budget", type=int, default=None,
+                                help="held snapshots per invoker under "
+                                     "--restorable-snapshots (default: "
+                                     "unbounded)")
+    control_parser.add_argument("--isolation-mechanism",
+                                choices=ISOLATION_MECHANISMS, default="gh",
+                                help="mechanism whose cost model prices "
+                                     "snapshot restores (default: gh)")
     control_parser.set_defaults(func=cmd_slo_control)
 
     perf_parser = subparsers.add_parser(
@@ -727,7 +820,9 @@ def build_parser() -> argparse.ArgumentParser:
                              default="metrics",
                              help="which tracked trace to measure: the "
                                   "metrics-bookkeeping trace, the "
-                                  "cluster-scale routing sweep, or both")
+                                  "cluster-scale routing sweep, the "
+                                  "warmth-spectrum restore-vs-boot "
+                                  "comparison, or all of them")
     perf_parser.add_argument("--invocations", type=int, default=1_000_000,
                              help="arrivals in the synthetic metrics trace "
                                   "(default: 1,000,000)")
@@ -735,11 +830,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="arrivals per cluster-scale sweep point "
                                   "(default: 30,000; the scan comparator "
                                   "replays every point too)")
+    perf_parser.add_argument("--warmth-invocations", type=int, default=150_000,
+                             help="arrivals in the warmth-spectrum trace "
+                                  "(default: 150,000; the spectrum-off "
+                                  "comparator replays them too)")
+    perf_parser.add_argument("--isolation-mechanism",
+                             choices=ISOLATION_MECHANISMS, default="gh",
+                             help="mechanism whose cost model prices the "
+                                  "warmth-spectrum snapshot restores "
+                                  "(default: gh)")
     perf_parser.add_argument("--quick", action="store_true",
                              help="CI smoke scale: 100,000 metrics arrivals "
                                   f"/ {CLUSTER_SCALE_QUICK_INVOCATIONS:,} "
                                   "cluster-scale arrivals on the first "
-                                  "sweep point only")
+                                  f"sweep point only / "
+                                  f"{WARMTH_SPECTRUM_QUICK_INVOCATIONS:,} "
+                                  "warmth-spectrum arrivals")
     perf_parser.add_argument("--trace-file", default=None,
                              help="replay a published Azure Functions "
                                   "invocations-per-function CSV through the "

@@ -59,6 +59,12 @@ ADMISSION_POLICIES = ("fifo", "wfq")
 #: (:class:`~repro.faas.controlplane.forecast.PredictivePlanner`).
 PLANNER_KINDS = ("reactive", "predictive")
 
+#: Isolation mechanisms whose restore models can price a cluster-level
+#: snapshot restore.  Mirrors ``repro.baselines.registry.MECHANISMS``
+#: (kept as a literal here — config must not import the baselines
+#: package — and pinned equal by a unit test).
+ISOLATION_MECHANISMS = ("base", "gh", "gh-nop", "fork", "faasm", "cold", "criu")
+
 #: Metrics collection modes.  ``exact`` retains every finished invocation
 #: (memory O(run), every statistic exact — the seed behaviour and the
 #: right choice for paper-fidelity experiments).  ``sketch`` folds
@@ -154,6 +160,25 @@ class SimulationConfig:
     autoscale_queue_high: int = 4
     #: Minimum virtual time between two scaling steps of one action.
     autoscale_cooldown_seconds: float = 0.25
+    #: Restoration-aware warmth spectrum: keep-alive eviction (and planner
+    #: drains) *demote* a dynamic container to a held restorable snapshot
+    #: instead of destroying it; a dispatch that misses live-warm but hits
+    #: a snapshot pays an on-core restore (priced by
+    #: ``isolation_mechanism``'s restore model) instead of a full boot.
+    #: Off (the default) reproduces the binary warm-vs-cold behaviour
+    #: bit-identically.
+    restorable_snapshots: bool = False
+    #: Per-invoker cap on held (demoted) snapshots across all actions;
+    #: the least-recently-demoted snapshot is discarded when a demote
+    #: would exceed it.  ``None`` is unbounded.  Requires
+    #: ``restorable_snapshots``.
+    snapshot_budget: Optional[int] = None
+    #: Which isolation mechanism's restore model prices cluster-level
+    #: snapshot restores (see :mod:`repro.faas.restorecost`).  This
+    #: selects restore *pricing* only — the mechanism each action is
+    #: deployed with is still the :class:`~repro.faas.action.ActionSpec`'s
+    #: ``mechanism`` field.
+    isolation_mechanism: str = "gh"
     #: Calibrate the ``warm-aware`` policy's cold-start penalty per action
     #: from the measured boot time and estimated service time at deploy
     #: time, instead of the fixed 32-load-unit constant (which remains the
@@ -250,6 +275,16 @@ class SimulationConfig:
                 raise ValueError("tenant_quota_burst requires tenant_quota_rps")
             if self.tenant_quota_burst < 1:
                 raise ValueError("tenant_quota_burst must allow at least one token")
+        if self.snapshot_budget is not None:
+            if not self.restorable_snapshots:
+                raise ValueError("snapshot_budget requires restorable_snapshots")
+            if self.snapshot_budget < 0:
+                raise ValueError("snapshot_budget must be >= 0 (or None for unbounded)")
+        if self.isolation_mechanism not in ISOLATION_MECHANISMS:
+            raise ValueError(
+                f"unknown isolation_mechanism {self.isolation_mechanism!r}; "
+                f"choose one of {ISOLATION_MECHANISMS}"
+            )
         if self.autoscale_queue_high < 1:
             raise ValueError("autoscale_queue_high must be >= 1")
         if self.autoscale_cooldown_seconds <= 0:

@@ -30,6 +30,7 @@ from repro.faas.controller import Controller
 from repro.faas.invoker import Invoker
 from repro.faas.metrics import MetricsCollector
 from repro.faas.request import Invocation
+from repro.faas.restorecost import restore_seconds_for
 from repro.faas.scheduler import (
     Scheduler,
     WarmAwarePolicy,
@@ -93,6 +94,9 @@ class FaaSCluster:
                 keep_alive_seconds=self.config.keep_alive_seconds,
                 admission=self.config.admission_policy,
                 quotas=self.quotas,
+                restorable_snapshots=self.config.restorable_snapshots,
+                snapshot_budget=self.config.snapshot_budget,
+                isolation_mechanism=self.config.isolation_mechanism,
             )
             for index in range(self.config.invokers)
         ]
@@ -189,10 +193,21 @@ class FaaSCluster:
             and self.config.calibrate_warm_penalty
             and isinstance(self.scheduler.policy, WarmAwarePolicy)
         ):
+            # With the spectrum on, also calibrate the snapshot tier: the
+            # restore is priced by the same per-mechanism arithmetic the
+            # invokers will charge when they actually restore.
+            restore = (
+                restore_seconds_for(
+                    self.config.isolation_mechanism, init, self.cost_model
+                )
+                if self.config.restorable_snapshots
+                else None
+            )
             self.scheduler.policy.calibrate(
                 spec.name,
                 boot_seconds=init.total_seconds,
                 service_seconds=estimated_service_seconds(spec.profile),
+                restore_seconds=restore,
             )
         if (
             init is not None

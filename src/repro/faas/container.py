@@ -35,6 +35,11 @@ class ContainerState(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"
     RESTORING = "restoring"
+    #: Demoted to a held restorable snapshot: the live instance is gone
+    #: (it occupies no warm slot and serves nothing) but its image is
+    #: retained, so an on-core restore — far cheaper than a boot —
+    #: brings it back to IDLE.  See the invoker's warmth spectrum.
+    SNAPSHOTTED = "snapshotted"
     DEAD = "dead"
 
 
@@ -95,6 +100,13 @@ class Container:
         self.executions: List[ContainerExecution] = []
         #: Total time spent doing post-request work (restorations etc.).
         self.post_work_seconds = 0.0
+        #: How many times this container was restored from a held snapshot.
+        self.restored_from_snapshot = 0
+        #: ``requests_served`` as of the last snapshot restore.  Together
+        #: with ``ready_at`` this classifies the first post-restore
+        #: dispatch as a ``restore`` (not warm, not cold) under the same
+        #: honesty rule pre-warms use.
+        self.requests_served_at_restore = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,6 +124,47 @@ class Container:
     def shutdown(self) -> None:
         """Mark the container dead (the platform reclaims it)."""
         self.state = ContainerState.DEAD
+
+    def demote(self) -> None:
+        """Demote an idle container to a held restorable snapshot."""
+        if self.state is not ContainerState.IDLE:
+            raise ContainerError(
+                f"{self.container_id}: cannot demote while {self.state.value}"
+            )
+        self.state = ContainerState.SNAPSHOTTED
+
+    def promote(self) -> None:
+        """Un-demote a snapshot whose restore is free (zero-cost model).
+
+        A pure inverse of :meth:`demote`: no timestamps move and no
+        restore is recorded, so a zero-cost spectrum is observationally
+        identical to never having demoted at all.
+        """
+        if self.state is not ContainerState.SNAPSHOTTED:
+            raise ContainerError(
+                f"{self.container_id}: cannot promote while {self.state.value}"
+            )
+        self.state = ContainerState.IDLE
+
+    def begin_restore(self) -> None:
+        """Start restoring a held snapshot back to a live instance."""
+        if self.state is not ContainerState.SNAPSHOTTED:
+            raise ContainerError(
+                f"{self.container_id}: cannot restore while {self.state.value}"
+            )
+        self.state = ContainerState.RESTORING
+
+    def complete_restore(self, now: float) -> None:
+        """Finish a restore: the container is live and idle again."""
+        if self.state is not ContainerState.RESTORING:
+            raise ContainerError(
+                f"{self.container_id}: restore did not begin"
+            )
+        self.state = ContainerState.IDLE
+        self.ready_at = now
+        self.idle_since = now
+        self.restored_from_snapshot += 1
+        self.requests_served_at_restore = self.requests_served
 
     # ------------------------------------------------------------------
     # Execution

@@ -22,6 +22,16 @@ container and boot in flight cluster-wide) and never touches a busy
 container: draining is restricted to each pool's idle dynamic containers
 by construction.  All scans run in sorted order over deterministic
 snapshots, so two identical runs plan identically.
+
+With the warmth spectrum on (``SimulationConfig.restorable_snapshots``)
+both actuators get cheaper without any planner change: a funding *drain*
+demotes its victim to a held snapshot instead of destroying it (the
+container leaves the budget — demoted snapshots serve nothing and count
+toward neither ``warm_total`` nor ``boots_in_flight`` — but its image is
+retained), and a *seed* on an invoker that holds a restorable snapshot of
+the action restores it on-core at a fraction of a boot's cost rather than
+cold-starting.  The planner plans the same shifts; the invokers execute
+them along the cheapest lifecycle path available.
 """
 
 from __future__ import annotations
@@ -234,7 +244,10 @@ class CapacityPlanner:
         pure churn.  Only pools with no queued work are considered, and
         :meth:`~repro.faas.invoker.Invoker.drain` itself only ever touches
         idle dynamic containers, so a busy container can never be
-        reclaimed.
+        reclaimed.  Under the warmth spectrum the reclaim is a *demotion*:
+        the freed budget is identical, but the victim survives as a
+        restorable snapshot a later seed can revive for far less than a
+        boot.
         """
         best: Optional[Tuple[int, int, str]] = None  # (-idle_dynamic, index, action)
         for index, invoker in enumerate(invokers):

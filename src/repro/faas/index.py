@@ -19,9 +19,14 @@ of scanning:
   outnumber live ones several times over, so amortised cost stays
   O(log N) per update and per query.
 * **Per-action warm sets**: the positions whose invokers have at least
-  one container (existing or booting) for the action — exactly the
-  ``snapshot.warmth(action) > 0`` predicate the warm-aware policy
-  scores, without materialising a snapshot.
+  one container (existing, booting, or restoring) for the action —
+  exactly the ``snapshot.warmth(action) > 0`` predicate the warm-aware
+  policy scores, without materialising a snapshot.
+* **Per-action snapshot sets**: the positions holding at least one
+  demoted restorable snapshot of the action — the middle tier of the
+  warmth spectrum, scored between live-warm and cold by the warm-aware
+  policy's restore penalty.  Maintained by the same O(1) ``_touch_pool``
+  deltas as the warm sets; empty whenever the spectrum is off.
 * **Per-action queue-depth maps** (sparse: only positions with a
   non-empty queue appear): the victim index for work stealing, and —
   via plain emptiness — the O(1) "is any steal possible at all?" guard
@@ -69,6 +74,7 @@ class ClusterIndex:
         self._heap: List[Tuple[int, int]] = [(0, pos) for pos in range(n)]
         # Already heap-ordered: loads equal, positions ascending.
         self._warm: Dict[str, Set[int]] = {}
+        self._snapshots: Dict[str, Set[int]] = {}
         self._depths: Dict[str, Dict[int, int]] = {}
         #: Lazy-heap bookkeeping (observability / test hooks).
         self.compactions = 0
@@ -114,6 +120,20 @@ class ClusterIndex:
             if not positions:
                 del self._warm[action]
 
+    def snapshot_changed(self, position: int, action: str, held: bool) -> None:
+        """Record whether ``position`` holds any restorable snapshot of
+        ``action`` (sparse, dedup'd — the warmth-spectrum middle tier)."""
+        positions = self._snapshots.get(action)
+        if held:
+            if positions is None:
+                positions = set()
+                self._snapshots[action] = positions
+            positions.add(position)
+        elif positions is not None:
+            positions.discard(position)
+            if not positions:
+                del self._snapshots[action]
+
     def _compact(self) -> None:
         """Rebuild the heap from the authoritative loads (drops all corpses)."""
         self._heap = [(load, pos) for pos, load in enumerate(self._loads)]
@@ -139,55 +159,77 @@ class ClusterIndex:
                 return position
             heapq.heappop(heap)
 
-    def warm_aware_choose(self, action: str, cold_penalty: float) -> int:
+    def warm_aware_choose(
+        self, action: str, cold_penalty: float, restore_penalty: float = 0.0
+    ) -> int:
         """The scan-identical warm-aware argmin, without building snapshots.
 
         Reproduces ``min(range(n), key=lambda i: (load_i + penalty_i,
         load_i, i))`` where ``penalty_i`` is 0.0 for invokers warm for
-        ``action`` and ``cold_penalty`` otherwise: the best warm
-        candidate comes from the (small) warm set, the best cold
-        candidate from the load heap (skipping warm entries), and the
-        final comparison uses the exact scan key tuples so float
+        ``action``, ``restore_penalty`` for invokers holding only a
+        restorable snapshot of it, and ``cold_penalty`` otherwise: the
+        best candidate of each tier comes from its (small) set — warm
+        set, snapshot set minus warm, and the load heap skipping both —
+        and the final comparison uses the exact scan key tuples so float
         semantics and tie-breaks match bit for bit.
         """
         loads = self._loads
         warm = self._warm.get(action)
-        if not warm:
+        snaps = self._snapshots.get(action)
+        if not warm and not snaps:
             # Everyone pays the same penalty: plain least-loaded argmin.
             return self.least_loaded()
-        best_warm_pos = -1
-        best_warm_load = 0
-        for position in warm:
-            load = loads[position]
-            if (
-                best_warm_pos < 0
-                or load < best_warm_load
-                or (load == best_warm_load and position < best_warm_pos)
-            ):
-                best_warm_pos = position
-                best_warm_load = load
-        if len(warm) == len(loads):
-            return best_warm_pos  # no cold candidate exists
-        # Walk the heap for the least-loaded *cold* position: stale
-        # entries are discarded, live-but-warm entries are parked and
-        # restored afterwards (they stay live for future queries).
-        heap = self._heap
-        parked: List[Tuple[int, int]] = []
-        while True:
-            load, position = heap[0]
-            if load != loads[position]:
-                heapq.heappop(heap)
-                continue
-            if position in warm:
-                parked.append(heapq.heappop(heap))
-                continue
-            best_cold_pos, best_cold_load = position, load
-            break
-        for entry in parked:
-            heapq.heappush(heap, entry)
-        warm_key = (best_warm_load + 0.0, best_warm_load, best_warm_pos)
-        cold_key = (best_cold_load + cold_penalty, best_cold_load, best_cold_pos)
-        return best_warm_pos if warm_key < cold_key else best_cold_pos
+
+        def _tier_min(positions: Iterable[int], skip) -> Tuple[int, int]:
+            best_pos = -1
+            best_load = 0
+            for position in positions:
+                if skip is not None and position in skip:
+                    continue
+                load = loads[position]
+                if (
+                    best_pos < 0
+                    or load < best_load
+                    or (load == best_load and position < best_pos)
+                ):
+                    best_pos = position
+                    best_load = load
+            return best_pos, best_load
+
+        keys: List[Tuple[float, int, int]] = []
+        if warm:
+            warm_pos, warm_load = _tier_min(warm, None)
+            keys.append((warm_load + 0.0, warm_load, warm_pos))
+        if snaps:
+            snap_pos, snap_load = _tier_min(snaps, warm)
+            if snap_pos >= 0:
+                keys.append((snap_load + restore_penalty, snap_load, snap_pos))
+        if warm and snaps:
+            covered = len(warm | snaps)
+        else:
+            covered = len(warm or snaps or ())
+        if covered < len(loads):
+            # Walk the heap for the least-loaded *cold* position: stale
+            # entries are discarded, live-but-covered entries are parked
+            # and restored afterwards (they stay live for future queries).
+            heap = self._heap
+            parked: List[Tuple[int, int]] = []
+            while True:
+                load, position = heap[0]
+                if load != loads[position]:
+                    heapq.heappop(heap)
+                    continue
+                if (warm and position in warm) or (
+                    snaps and position in snaps
+                ):
+                    parked.append(heapq.heappop(heap))
+                    continue
+                cold_pos, cold_load = position, load
+                break
+            for entry in parked:
+                heapq.heappush(heap, entry)
+            keys.append((cold_load + cold_penalty, cold_load, cold_pos))
+        return min(keys)[2]
 
     # ------------------------------------------------------------------
     # Work-stealing queries
@@ -233,15 +275,21 @@ class ClusterIndex:
         live = {(self._loads[pos], pos) for pos in range(len(self._loads))}
         assert live <= set(self._heap), "heap lost a live (load, position) entry"
         warm: Dict[str, Set[int]] = {}
+        snapshots: Dict[str, Set[int]] = {}
         depths: Dict[str, Dict[int, int]] = {}
         for position, invoker in enumerate(self.invokers):
             for pool in invoker._pools.values():
                 action = pool.spec.name
-                if len(pool.containers) + pool.cold_starting > 0:
+                if len(pool.containers) + pool.cold_starting + pool.restoring > 0:
                     warm.setdefault(action, set()).add(position)
+                if pool.snapshots:
+                    snapshots.setdefault(action, set()).add(position)
                 if len(pool.queue) > 0:
                     depths.setdefault(action, {})[position] = len(pool.queue)
         assert warm == self._warm, f"warm sets diverged: {warm} != {self._warm}"
+        assert snapshots == self._snapshots, (
+            f"snapshot sets diverged: {snapshots} != {self._snapshots}"
+        )
         assert depths == self._depths, (
             f"depth maps diverged: {depths} != {self._depths}"
         )

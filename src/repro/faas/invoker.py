@@ -26,6 +26,16 @@ substrate built on top of it:
   queued requests to warm containers takes priority over starting boots).
   This charges cold-start storms honestly: a load-blind policy that
   scatters requests onto cold invokers pays for every boot in core time.
+* **Warmth spectrum** — with ``restorable_snapshots`` on, container state
+  is live-warm > restorable-snapshot > cold: keep-alive eviction and
+  drains *demote* dynamic containers to held snapshots (bounded by an
+  invoker-wide ``snapshot_budget``, oldest demotion discarded first),
+  and demand that misses live-warm revives the newest snapshot with an
+  on-core *restore* priced by the configured isolation mechanism's
+  restore model (:mod:`repro.faas.restorecost`) — orders of magnitude
+  cheaper than a boot, but still core time, serialised through the same
+  backlog as boots.  The spectrum off reproduces binary warm-vs-cold
+  bit for bit.
 * **Admission layer** — enqueueing, dequeue order, and shed choice live in
   a pluggable :class:`~repro.faas.admission.AdmissionQueue` per action
   (``fifo`` reproduces the historical arrival-order behaviour bit for bit;
@@ -70,6 +80,7 @@ from repro.faas.admission import (
 )
 from repro.faas.container import Container
 from repro.faas.request import Invocation, InvocationStatus
+from repro.faas.restorecost import restore_seconds_for
 from repro.kernel.kernel import SimKernel
 from repro.sim.events import EventLoop, RecurringTimer
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
@@ -105,6 +116,17 @@ class _ActionPool:
     #: Cold starts in flight (booting on a core or waiting in the backlog,
     #: not yet in the pool).
     cold_starting: int = 0
+    #: Held restorable snapshots (demoted containers) of this action, in
+    #: demotion order — :meth:`Invoker._begin_restore` revives the newest
+    #: first (the most recently live image).  Snapshots are not live
+    #: containers: they serve nothing and count toward no warm pool until
+    #: an on-core restore (priced by the configured isolation mechanism)
+    #: returns them to ``idle``.
+    snapshots: Deque[Container] = field(default_factory=deque)
+    #: Snapshot restores in flight (on a core or waiting in the backlog,
+    #: not yet back in the pool) — the restore-side twin of
+    #: ``cold_starting``.
+    restoring: int = 0
     #: Invocations shed from this action's queue over the pool's lifetime
     #: (the autoscaler's rejection-pressure signal).
     rejected: int = 0
@@ -119,7 +141,7 @@ class _ActionPool:
     arrival_times: Deque[float] = field(default_factory=lambda: deque(maxlen=4096))
     #: This pool's current contribution to the invoker's incrementally
     #: maintained uncovered-queue total: ``max(0, len(queue) -
-    #: cold_starting)`` as of the last state transition.
+    #: cold_starting - restoring)`` as of the last state transition.
     uncovered: int = 0
     #: Creation sequence number (== the pool's position in the invoker's
     #: insertion-ordered pool dict).  Index-driven steal scans sort
@@ -159,7 +181,10 @@ class InvokerSnapshot:
     idle_warm: Mapping[str, int]
     #: All containers per action, busy or idle (only non-empty pools).
     warm_total: Mapping[str, int]
-    #: Boots in flight per action (only actions with at least one).
+    #: Boots *and snapshot restores* in flight per action (only actions
+    #: with at least one) — both occupy (or wait for) a core and both end
+    #: with a container joining the pool, so warmth-aware consumers see
+    #: them as capacity already underway.
     boots_in_flight: Mapping[str, int]
     #: Further containers the invoker may still boot, per action.
     growth_headroom: Mapping[str, int]
@@ -175,6 +200,10 @@ class InvokerSnapshot:
     #: least one) — the arrival-demand signal a forecasting control plane
     #: differences tick over tick to estimate per-action arrival rates.
     arrivals_total: Mapping[str, int] = field(default_factory=dict)
+    #: Held restorable snapshots per action (only actions with at least
+    #: one): capacity the invoker can revive with a cheap on-core restore
+    #: instead of a full boot — the middle tier of the warmth spectrum.
+    snapshots_held: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def load(self) -> int:
@@ -192,8 +221,12 @@ class InvokerSnapshot:
         return self.cores - self.cores_in_use
 
     def warmth(self, action: str) -> int:
-        """Containers (existing or booting) this invoker has for ``action``."""
+        """Containers (existing, booting, or restoring) for ``action``."""
         return self.warm_total.get(action, 0) + self.boots_in_flight.get(action, 0)
+
+    def restorable(self, action: str) -> int:
+        """Held snapshots of ``action`` (the restorable warmth tier)."""
+        return self.snapshots_held.get(action, 0)
 
 
 class Invoker:
@@ -213,6 +246,10 @@ class Invoker:
         keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS,
         admission: AdmissionFactory = "fifo",
         quotas: Optional[TenantQuotas] = None,
+        restorable_snapshots: bool = False,
+        snapshot_budget: Optional[int] = None,
+        isolation_mechanism: str = "gh",
+        restore_pricer: Optional[Callable[[Container], float]] = None,
     ) -> None:
         if cores < 1:
             raise PlatformError("an invoker needs at least one core")
@@ -220,6 +257,11 @@ class Invoker:
             raise PlatformError("keep_alive_seconds must be positive")
         if max_queue_per_action is not None and max_queue_per_action < 1:
             raise PlatformError("max_queue_per_action must be >= 1 or None")
+        if snapshot_budget is not None:
+            if not restorable_snapshots:
+                raise PlatformError("snapshot_budget requires restorable_snapshots")
+            if snapshot_budget < 0:
+                raise PlatformError("snapshot_budget must be >= 0 or None")
         if isinstance(admission, str) and admission not in ADMISSION_POLICIES:
             raise PlatformError(
                 f"unknown admission policy {admission!r}; "
@@ -237,6 +279,24 @@ class Invoker:
         self._admission = admission
         #: Shared (usually cluster-wide) per-tenant admission quotas.
         self.quotas = quotas
+        #: The warmth spectrum: when True, keep-alive eviction and drains
+        #: *demote* dynamic containers to held restorable snapshots, and
+        #: demand revives them with an on-core restore priced by
+        #: ``isolation_mechanism`` instead of a full boot.  Off (the
+        #: default), evictions destroy containers — the binary
+        #: warm-vs-cold behaviour, bit for bit.
+        self.restorable_snapshots = restorable_snapshots
+        #: Cap on held snapshots across all pools (None = unbounded);
+        #: exceeding demotes discard the least-recently-demoted snapshot.
+        self.snapshot_budget = snapshot_budget
+        #: Which mechanism's restore model prices snapshot restores.
+        self.isolation_mechanism = isolation_mechanism
+        #: Test/experiment override: a ``Container -> seconds`` pricer
+        #: used instead of the mechanism model when provided.
+        self.restore_pricer = restore_pricer
+        #: Held snapshots across all pools in demotion order — the
+        #: invoker-wide LRU the snapshot budget discards from.
+        self._snapshot_lru: Deque[Tuple[_ActionPool, Container]] = deque()
         #: Attached by :meth:`ReactiveAutoscaler.attach`; None = static
         #: per-action container ceilings.
         self.autoscaler: Optional[ReactiveAutoscaler] = None
@@ -244,8 +304,13 @@ class Invoker:
         self._cores_in_use = 0
         #: Boots currently occupying a core.
         self._booting = 0
-        #: Boots requested but waiting for a free core, in request order.
-        self._boot_backlog: Deque[Tuple[_ActionPool, Container]] = deque()
+        #: Boots and snapshot restores waiting for a free core, in request
+        #: order.  The third element prices the work: ``None`` for a full
+        #: boot (cost comes from ``initialize()``), or the restore's
+        #: pre-computed core-seconds for a snapshot revival.
+        self._boot_backlog: Deque[
+            Tuple[_ActionPool, Container, Optional[float]]
+        ] = deque()
         #: Incrementally maintained sum of ``max(0, queue - cold_starting)``
         #: over all pools — the queue term of :attr:`load`, kept O(1) by
         #: per-pool deltas at every state transition (see ``_touch_pool``).
@@ -313,6 +378,28 @@ class Invoker:
         self.steals = 0
         #: Invocations peers pulled out of this invoker's queues.
         self.stolen_away = 0
+        #: Dynamic containers demoted to held snapshots (instead of being
+        #: destroyed) by keep-alive eviction or a drain.
+        self.demotes = 0
+        #: Held snapshots discarded to stay within ``snapshot_budget``.
+        self.snapshot_discards = 0
+        #: Snapshot restores begun (including zero-cost promotions).
+        self.restores = 0
+        #: When each restore was begun — the restore-side twin of
+        #: ``cold_start_times``, same bound.
+        self.restore_times: Deque[float] = deque(maxlen=COLD_EVENT_SAMPLE_CAP)
+        #: Dispatches whose container was revived from a snapshot with the
+        #: restore on the request's critical path — the middle dispatch
+        #: class between ``warm_hits`` and cold dispatches.
+        self.restore_dispatches = 0
+        #: When each restore dispatch happened (bounded like
+        #: ``cold_dispatch_times``).
+        self.restore_dispatch_times: Deque[float] = deque(
+            maxlen=COLD_EVENT_SAMPLE_CAP
+        )
+        #: Core-seconds spent restoring snapshots (the restore CPU bill,
+        #: next to ``boot_core_seconds``).
+        self.restore_core_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Incremental state tracking (snapshot cache + cluster index feed)
@@ -323,7 +410,8 @@ class Invoker:
 
         ``listener`` receives O(1) deltas at every state-transition point:
         ``load_changed(position, load)``, ``depth_changed(position, action,
-        depth)`` and ``warmth_changed(position, action, warm)``.  The
+        depth)``, ``warmth_changed(position, action, warm)`` and
+        ``snapshot_changed(position, action, has_snapshot)``.  The
         listener is expected to deduplicate (notifications re-stating the
         current value are legal and common).
         """
@@ -334,7 +422,10 @@ class Invoker:
             listener.warmth_changed(
                 position,
                 pool.spec.name,
-                len(pool.containers) + pool.cold_starting > 0,
+                len(pool.containers) + pool.cold_starting + pool.restoring > 0,
+            )
+            listener.snapshot_changed(
+                position, pool.spec.name, len(pool.snapshots) > 0
             )
         listener.load_changed(position, self.load)
 
@@ -357,7 +448,7 @@ class Invoker:
         feeds the per-action queue depth and warmth to the attached index
         and bumps the snapshot version via :meth:`_touch`.
         """
-        uncovered = len(pool.queue) - pool.cold_starting
+        uncovered = len(pool.queue) - pool.cold_starting - pool.restoring
         if uncovered < 0:
             uncovered = 0
         if uncovered != pool.uncovered:
@@ -371,7 +462,10 @@ class Invoker:
             listener.warmth_changed(
                 self.index_position,
                 pool.spec.name,
-                len(pool.containers) + pool.cold_starting > 0,
+                len(pool.containers) + pool.cold_starting + pool.restoring > 0,
+            )
+            listener.snapshot_changed(
+                self.index_position, pool.spec.name, len(pool.snapshots) > 0
             )
         self._touch()
 
@@ -488,6 +582,12 @@ class Invoker:
             callback(invocation)
             return
         invocation.status = InvocationStatus.QUEUED
+        if self.restorable_snapshots:
+            # A held snapshot whose restore is free is warm capacity in
+            # all but name: promote it before the idle check so dispatch
+            # sees it exactly as live-warm (the zero-cost spectrum is
+            # observationally identical to never having demoted).
+            self._promote_free_snapshot(pool)
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
             return
@@ -522,12 +622,20 @@ class Invoker:
         counts the queue plus any invocation about to join it).  When
         containers sit idle the bottleneck is cores, and another container
         would not help.
+
+        Under the warmth spectrum, a held snapshot outranks a boot: the
+        same demand that would have triggered a cold start instead begins
+        an on-core *restore* (orders of magnitude cheaper), falling back
+        to a boot only when no snapshot is held.
         """
-        if (
-            not pool.idle
-            and pool.cold_starting < waiting
-            and self._can_cold_start(pool)
-        ):
+        if pool.idle:
+            return
+        if pool.cold_starting + pool.restoring >= waiting:
+            return
+        if self.restorable_snapshots and pool.snapshots:
+            self._begin_restore(pool)
+            return
+        if self._can_cold_start(pool):
             self._cold_start(pool)
 
     def _shed(
@@ -561,15 +669,24 @@ class Invoker:
         invocation.queue_seconds = now - arrival
         invocation.status = InvocationStatus.RUNNING
         self.invocations_dispatched += 1
-        # A dispatch is a cold start only when it is the first request of a
-        # dynamically booted container whose boot finished *after* the
-        # request was submitted — the request existed while the container
-        # was still initialising, so the boot sat on its critical path.
-        # The first request of a container that was pre-warmed ahead of it
-        # (deploy-time pools, or a control-plane seed that completed before
-        # the request arrived) is a warm hit: that is precisely the service
-        # pre-warming buys.
-        if not (
+        # Three dispatch classes, checked most-specific first.  A *restore*
+        # dispatch is the first request of a container revived from a held
+        # snapshot whose restore finished after the request was submitted
+        # — the restore sat on its critical path (far shorter than a
+        # boot, but not free).  A dispatch is a *cold* start only when it
+        # is the first request of a dynamically booted container whose
+        # boot finished after the request was submitted.  Everything else
+        # — including the first request of a container pre-warmed or
+        # restored *ahead* of it — is a warm hit: that is precisely the
+        # service pre-warming (and snapshot-holding) buys.
+        if (
+            container.restored_from_snapshot
+            and container.requests_served == container.requests_served_at_restore
+            and container.ready_at > invocation.submitted_at
+        ):
+            self.restore_dispatches += 1
+            self.restore_dispatch_times.append(now)
+        elif not (
             container.dynamic
             and container.requests_served == 0
             and container.ready_at > invocation.submitted_at
@@ -612,6 +729,8 @@ class Invoker:
         while progressed and self._cores_in_use < self.cores:
             progressed = False
             for pool in self._pools.values():
+                if self.restorable_snapshots and pool.queue and not pool.idle:
+                    self._promote_free_snapshot(pool)
                 if pool.queue and pool.idle and self._cores_in_use < self.cores:
                     invocation, callback, arrival = pool.queue.pop_next()
                     self._dispatch(pool, invocation, callback, arrival)
@@ -674,6 +793,8 @@ class Invoker:
         """
         pool = self._require_pool(invocation.action)
         self.steals += 1
+        if self.restorable_snapshots:
+            self._promote_free_snapshot(pool)
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
             return
@@ -761,9 +882,13 @@ class Invoker:
         prewarm — so a planner can verify a seed will land *before* paying
         for it (e.g. before draining a container elsewhere to fund it).
         The core count stays a hard bound either way: containers beyond
-        the cores can never run.
+        the cores can never run.  A held snapshot always answers yes —
+        the pre-warm revives it with a cheap restore instead of a boot,
+        and a revived container was within the ceiling when it was built.
         """
         pool = self._require_pool(action)
+        if self.restorable_snapshots and pool.snapshots:
+            return True
         ceiling = min(
             pool.max_containers + (1 if raise_ceiling else 0), self.cores
         )
@@ -781,8 +906,18 @@ class Invoker:
 
         Returns ``False`` (and boots nothing) when the action has no
         growth headroom left on this invoker.
+
+        Under the warmth spectrum a held snapshot is seeded by *restore*
+        instead: the pre-warm revives the newest snapshot at its priced
+        restore cost — a far cheaper way for a planner to fund capacity
+        than a full boot (and the reason demoting beats draining).
         """
         pool = self._require_pool(action)
+        if self.restorable_snapshots and pool.snapshots:
+            self.prewarms += 1
+            self._begin_restore(pool)
+            self._touch_pool(pool)
+            return True
         if not self._can_cold_start(pool):
             return False
         self.prewarms += 1
@@ -808,6 +943,12 @@ class Invoker:
         planner reclaims genuinely cold capacity rather than churning a
         container that served a request milliseconds ago.
 
+        With the warmth spectrum on, a drain *demotes* its victims to
+        held snapshots (via the shared :meth:`_retire_idle` transition)
+        instead of destroying them: the budget the planner frees is the
+        same — a snapshot counts toward no warm pool — but the capacity
+        stays revivable at restore cost rather than boot cost.
+
         Returns how many containers were reclaimed.
         """
         if count < 1:
@@ -830,9 +971,7 @@ class Invoker:
             )
             if victim is None:
                 break
-            pool.idle.remove(victim)
-            pool.containers.remove(victim)
-            victim.shutdown()
+            self._retire_idle(pool, victim)
             self.evictions += 1
             self.drains += 1
             drained += 1
@@ -859,6 +998,121 @@ class Invoker:
         """The action's currently idle containers (dispatch order)."""
         return list(self._require_pool(action).idle)
 
+    # ------------------------------------------------------------------
+    # Warmth spectrum: demote on evict, restore on demand
+    # ------------------------------------------------------------------
+
+    def _restore_seconds(self, container: Container) -> float:
+        """Core-seconds reviving this container's snapshot would take."""
+        if self.restore_pricer is not None:
+            return self.restore_pricer(container)
+        init = container.init_report
+        if init is None:
+            return 0.0
+        return restore_seconds_for(
+            self.isolation_mechanism, init, self.cost_model
+        )
+
+    def _promote_free_snapshot(self, pool: _ActionPool) -> None:
+        """Revive the newest held snapshot inline when its restore is free.
+
+        A zero-cost restore needs no core and no time, so the snapshot is
+        functionally an idle warm container; promoting it *before* the
+        dispatch/idle checks keeps a zero-cost spectrum observationally
+        identical to never having demoted (no timestamps move, no restore
+        event is scheduled).  Priced restores never take this path — they
+        go through the core-charged :meth:`_begin_restore`.
+        """
+        if pool.idle or not pool.snapshots:
+            return
+        container = pool.snapshots[-1]
+        if self._restore_seconds(container) > 0.0:
+            return
+        pool.snapshots.pop()
+        self._lru_remove(container)
+        container.promote()
+        self.restores += 1
+        pool.containers.append(container)
+        pool.idle.append(container)
+        self._touch_pool(pool)
+
+    def _lru_remove(self, container: Container) -> None:
+        """Drop one container's entry from the demotion-order LRU."""
+        for index, entry in enumerate(self._snapshot_lru):
+            if entry[1] is container:
+                del self._snapshot_lru[index]
+                return
+
+    def _begin_restore(self, pool: _ActionPool) -> None:
+        """Start reviving the newest held snapshot on a core.
+
+        The restore is CPU work exactly like a boot: it occupies one core
+        for the priced duration, serialised against executions and other
+        boots/restores, waiting in the same FIFO backlog when no core is
+        free.  The newest snapshot is revived first — the most recently
+        live image.
+        """
+        container = pool.snapshots.pop()
+        self._lru_remove(container)
+        price = self._restore_seconds(container)
+        self.restores += 1
+        self.restore_times.append(self.loop.now)
+        if price <= 0.0:
+            # Degenerate pricing (test override): an instant promotion.
+            container.promote()
+            pool.containers.append(container)
+            pool.idle.append(container)
+            self._touch_pool(pool)
+            return
+        container.begin_restore()
+        pool.restoring += 1
+        self._boot_backlog.append((pool, container, price))
+        self._start_boots()
+
+    def _retire_idle(self, pool: _ActionPool, container: Container) -> None:
+        """The one eviction/drain transition: demote or destroy one idle
+        dynamic container.
+
+        Shared by keep-alive eviction and :meth:`drain` so the two paths
+        cannot diverge: with the spectrum off the container is destroyed
+        (the binary warm-vs-cold behaviour); with it on, the container is
+        demoted to a held snapshot, and the least-recently-demoted
+        snapshot is discarded if that breaches ``snapshot_budget``.
+        Never dispatches, restores, or otherwise resurrects work — callers
+        own the eviction counters and index touch.
+        """
+        pool.idle.remove(container)
+        pool.containers.remove(container)
+        if not self.restorable_snapshots:
+            container.shutdown()
+            return
+        container.demote()
+        pool.snapshots.append(container)
+        self._snapshot_lru.append((pool, container))
+        self.demotes += 1
+        if self.snapshot_budget is not None:
+            while len(self._snapshot_lru) > self.snapshot_budget:
+                old_pool, old_container = self._snapshot_lru.popleft()
+                old_pool.snapshots.remove(old_container)
+                old_container.shutdown()
+                self.snapshot_discards += 1
+                if old_pool is not pool:
+                    self._touch_pool(old_pool)
+
+    def snapshots_held(self, action: Optional[str] = None) -> int:
+        """Held restorable snapshots (for one action or all of them).
+
+        O(1) for the all-actions total (the budget LRU's length); used by
+        warmth-aware consumers to score the middle spectrum tier without
+        building snapshots.  Returns 0 for actions not hosted here.
+        """
+        if action is None:
+            return len(self._snapshot_lru)
+        pool = self._pools.get(action)
+        if pool is None:
+            return 0
+        return len(pool.snapshots)
+
     def _cold_start(self, pool: _ActionPool, *, on_demand: bool = True) -> None:
         """Request one more container; the boot runs on a core when one frees.
 
@@ -876,16 +1130,37 @@ class Invoker:
         if on_demand:
             self.cold_starts += 1
             self.cold_start_times.append(self.loop.now)
-        self._boot_backlog.append((pool, container))
+        self._boot_backlog.append((pool, container, None))
         self._start_boots()
 
     def _start_boots(self) -> None:
-        """Move backlogged boots onto free cores (FIFO, one core each)."""
+        """Move backlogged boots/restores onto free cores (FIFO, one each)."""
         started = False
         while self._boot_backlog and self._cores_in_use < self.cores:
             started = True
-            pool, container = self._boot_backlog.popleft()
+            pool, container, restore_price = self._boot_backlog.popleft()
             self._cores_in_use += 1
+            if restore_price is not None:
+                self.restore_core_seconds += restore_price
+
+                def restored(
+                    pool: _ActionPool = pool, container: Container = container
+                ) -> None:
+                    self._cores_in_use -= 1
+                    pool.restoring -= 1
+                    container.complete_restore(self.loop.now)
+                    pool.containers.append(container)
+                    pool.idle.append(container)
+                    self._touch_pool(pool)
+                    self._ensure_eviction_timer()
+                    self._drain_queues()
+
+                self.loop.schedule(
+                    restore_price,
+                    restored,
+                    label=f"restore:{container.container_id}",
+                )
+                continue
             self._booting += 1
             init = container.initialize()
             self.boot_core_seconds += init.total_seconds
@@ -916,12 +1191,16 @@ class Invoker:
         Only boots still waiting for a core can be cancelled; a boot
         already executing on a core runs to completion (its core time is
         spent either way, and the container will be warm for the next
-        request).
+        request).  Restores in flight count toward covering the remaining
+        demand but are never cancelled themselves — a restore is cheap
+        enough to finish, and the revived container is warm capacity.
         """
-        if pool.cold_starting <= len(pool.queue):
+        if pool.cold_starting + pool.restoring <= len(pool.queue):
             return
-        for index, (backlog_pool, _container) in enumerate(self._boot_backlog):
-            if backlog_pool is pool:
+        for index, (backlog_pool, _container, price) in enumerate(
+            self._boot_backlog
+        ):
+            if backlog_pool is pool and price is None:
                 del self._boot_backlog[index]
                 pool.cold_starting -= 1
                 self.boots_cancelled += 1
@@ -936,7 +1215,12 @@ class Invoker:
             )
 
     def _evict_expired(self) -> None:
-        """Reclaim dynamic containers idle longer than the keep-alive."""
+        """Reclaim dynamic containers idle longer than the keep-alive.
+
+        Each victim goes through the shared :meth:`_retire_idle`
+        transition: destroyed with the spectrum off, demoted to a held
+        restorable snapshot with it on.
+        """
         now = self.loop.now
         for pool in self._pools.values():
             if pool.queue:
@@ -948,9 +1232,7 @@ class Invoker:
                 if c.dynamic and now - c.idle_since >= self.keep_alive_seconds
             ]
             for container in expired:
-                pool.idle.remove(container)
-                pool.containers.remove(container)
-                container.shutdown()
+                self._retire_idle(pool, container)
                 self.evictions += 1
                 if self.autoscaler is not None:
                     # Demand faded enough for keep-alive to fire: lower the
@@ -1018,7 +1300,7 @@ class Invoker:
         return self._queued_uncovered
 
     def warmth(self, action: str) -> int:
-        """Containers (existing or booting) this invoker has for ``action``.
+        """Containers (existing, booting, or restoring) for ``action``.
 
         O(1), allocation-free — the live-invoker counterpart of
         :meth:`InvokerSnapshot.warmth` for scan policies that want to skip
@@ -1027,7 +1309,7 @@ class Invoker:
         pool = self._pools.get(action)
         if pool is None:
             return 0
-        return len(pool.containers) + pool.cold_starting
+        return len(pool.containers) + pool.cold_starting + pool.restoring
 
     def has_idle(self, action: str) -> bool:
         """True when ``action`` has at least one idle warm container here."""
@@ -1110,13 +1392,16 @@ class Invoker:
         queued_per_action: Dict[str, int] = {}
         prewarmed: Dict[str, int] = {}
         arrivals_total: Dict[str, int] = {}
+        snapshots_held: Dict[str, int] = {}
         for name, pool in self._pools.items():
             if pool.idle:
                 idle_warm[name] = len(pool.idle)
             if pool.containers:
                 warm_total[name] = len(pool.containers)
-            if pool.cold_starting:
-                boots[name] = pool.cold_starting
+            if pool.cold_starting or pool.restoring:
+                boots[name] = pool.cold_starting + pool.restoring
+            if pool.snapshots:
+                snapshots_held[name] = len(pool.snapshots)
             if pool.queue:
                 queued_per_action[name] = len(pool.queue)
             if pool.prewarmed:
@@ -1144,6 +1429,7 @@ class Invoker:
             queued_per_action=queued_per_action,
             prewarmed=prewarmed,
             arrivals_total=arrivals_total,
+            snapshots_held=snapshots_held,
         )
         self._snapshot_cache = snap
         self._snapshot_version = self._state_version
@@ -1170,6 +1456,12 @@ class Invoker:
             "prewarmed": sum(p.prewarmed for p in self._pools.values()),
             "prewarms": self.prewarms,
             "drains": self.drains,
+            "demotes": self.demotes,
+            "restores": self.restores,
+            "restore_dispatches": self.restore_dispatches,
+            "snapshots_held": len(self._snapshot_lru),
+            "snapshot_discards": self.snapshot_discards,
+            "restore_core_seconds": round(self.restore_core_seconds, 6),
         }
 
     def _require_pool(self, action: str) -> _ActionPool:

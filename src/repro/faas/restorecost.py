@@ -1,0 +1,87 @@
+"""Per-mechanism pricing of a cluster-level snapshot restore.
+
+The warmth spectrum (live-warm > restorable-snapshot > cold) needs one
+number per demoted container: how long an on-core *restore* takes before
+the container can serve again.  This module derives that number from the
+same per-operation cost model that prices the paper-level mechanisms
+(:mod:`repro.sim.costs`), the container's own :class:`~repro.core.policy.
+InitReport` (its footprint: mapped pages, snapshot pages), and the fault
+cost model in :mod:`repro.kernel.faults` — so a cluster restore is priced
+by the *same arithmetic* as the single-box mechanism it models, not by a
+free-floating constant.
+
+Mechanism mapping (``SimulationConfig.isolation_mechanism``):
+
+``gh`` / ``gh-nop``
+    Groundhog's in-place rollback: ptrace interrupt/detach around a
+    soft-dirty pagemap scan of the mapped footprint plus a copy-back of
+    the snapshot-diff pages, and a post-restore soft-dirty re-tracking
+    fault per restored page (priced via :class:`~repro.kernel.faults.
+    FaultRecord`).  Orders of magnitude cheaper than a boot.
+``criu``
+    Image deserialisation from disk: large base cost plus a per-kpage
+    restore cost over the whole mapped footprint.
+``fork``
+    Fork-from-zygote: cheap fork plus copy-on-write first-touch faults
+    over the snapshot working set.
+``faasm``
+    WASM memory reset: base cost plus a per-kpage zeroing cost over the
+    snapshot pages.
+``base`` / ``cold``
+    No restorable image exists under these mechanisms — a "restore"
+    degenerates to a full re-initialisation, i.e. the boot cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import InitReport
+from repro.kernel.faults import FaultRecord
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["restore_seconds_for"]
+
+
+def restore_seconds_for(
+    mechanism: str,
+    init: InitReport,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Seconds a core is occupied restoring a demoted container.
+
+    Deterministic and pure: the same ``(mechanism, init, cost_model)``
+    always prices the same, so twin-cluster identity properties hold.
+    """
+    if mechanism in ("gh", "gh-nop"):
+        # Interrupt the paused runtime, scan its pagemap for dirtied
+        # pages, copy the snapshot diff back, detach — then pay one
+        # soft-dirty re-tracking fault per restored page when the
+        # runtime resumes (the Fig. 3 post-restore fault storm).
+        faults = FaultRecord(soft_dirty=init.snapshot_pages)
+        return (
+            cost_model.ptrace_interrupt_seconds
+            + cost_model.ptrace_detach_seconds
+            + init.mapped_pages * cost_model.pagemap_scan_seconds
+            + init.snapshot_pages * cost_model.page_copy_seconds
+            + faults.cost_seconds(cost_model)
+        )
+    if mechanism == "criu":
+        return (
+            cost_model.criu_restore_base_seconds
+            + cost_model.criu_restore_per_kpage_seconds
+            * (init.mapped_pages / 1024.0)
+        )
+    if mechanism == "fork":
+        # A fresh fork of the held zygote, then first-touch COW faults
+        # over the snapshot working set as the child warms up.
+        faults = FaultRecord(first_touch=init.snapshot_pages)
+        return cost_model.fork_base_seconds + faults.cost_seconds(cost_model)
+    if mechanism == "faasm":
+        return (
+            cost_model.faasm_reset_base_seconds
+            + cost_model.faasm_reset_per_kpage_seconds
+            * (init.snapshot_pages / 1024.0)
+        )
+    if mechanism in ("base", "cold"):
+        # Nothing restorable is held: re-initialise from scratch.
+        return init.total_seconds
+    raise ValueError(f"unknown isolation mechanism {mechanism!r}")

@@ -20,7 +20,9 @@ scalar load.  Four are provided:
 * ``warm-aware`` — least-loaded with the cold start priced in: an invoker
   that would have to boot a container for the action carries a load
   penalty, so traffic prefers warm invokers until their backlog outweighs
-  a boot.
+  a boot.  With the warmth spectrum on, invokers holding a restorable
+  snapshot of the action form a middle tier priced by the (much smaller)
+  restore penalty.
 
 Deployment follows the same geometry regardless of policy: an action's
 pre-warmed containers live on its home invoker, and every other invoker
@@ -214,26 +216,51 @@ class WarmAwarePolicy(SchedulingPolicy):
     worth per boot) spill earlier than lightweight ones (many requests'
     worth per boot).  The constant remains the fallback for actions
     without a calibration.
+
+    With the warmth spectrum on, a third tier sits between warm and
+    cold: an invoker that holds only a demoted *restorable snapshot* of
+    the action carries the (much smaller) ``snapshot_restore_penalty`` —
+    or, when calibrated with ``restore_seconds``, the restore/service
+    ratio — so traffic prefers live-warm invokers, then snapshot
+    holders, then cold boots, each priced by what serving there would
+    actually cost.  With the spectrum off no snapshots exist, the middle
+    tier never fires, and the scoring is byte-identical to before.
     """
 
     name = "warm-aware"
     uses_index = True
 
-    def __init__(self, cold_start_penalty: float = 32.0) -> None:
+    def __init__(
+        self,
+        cold_start_penalty: float = 32.0,
+        snapshot_restore_penalty: float = 2.0,
+    ) -> None:
         super().__init__()
         if cold_start_penalty < 0:
             raise PlatformError("cold_start_penalty must be >= 0")
+        if snapshot_restore_penalty < 0:
+            raise PlatformError("snapshot_restore_penalty must be >= 0")
         self.cold_start_penalty = cold_start_penalty
+        self.snapshot_restore_penalty = snapshot_restore_penalty
         #: Per-action calibrated penalties (boot/service-time ratios).
         self._calibrated: Dict[str, float] = {}
+        #: Per-action calibrated restore penalties (restore/service ratios).
+        self._calibrated_restore: Dict[str, float] = {}
 
     def calibrate(
-        self, action: str, *, boot_seconds: float, service_seconds: float
+        self,
+        action: str,
+        *,
+        boot_seconds: float,
+        service_seconds: float,
+        restore_seconds: Optional[float] = None,
     ) -> float:
         """Derive and register the action's penalty from workload estimates.
 
-        Returns the penalty: how many requests' worth of core time one
-        container boot costs for this action.
+        Returns the cold penalty: how many requests' worth of core time
+        one container boot costs for this action.  ``restore_seconds``
+        additionally calibrates the snapshot-restore tier (the
+        restore/service ratio) for spectrum-enabled clusters.
         """
         if boot_seconds < 0:
             raise PlatformError("boot_seconds must be >= 0")
@@ -241,34 +268,51 @@ class WarmAwarePolicy(SchedulingPolicy):
             raise PlatformError("service_seconds must be positive")
         penalty = boot_seconds / service_seconds
         self._calibrated[action] = penalty
+        if restore_seconds is not None:
+            if restore_seconds < 0:
+                raise PlatformError("restore_seconds must be >= 0")
+            self._calibrated_restore[action] = restore_seconds / service_seconds
         return penalty
 
     def penalty_for(self, action: str) -> float:
         """The action's cold-start penalty (calibrated, else the constant)."""
         return self._calibrated.get(action, self.cold_start_penalty)
 
+    def restore_penalty_for(self, action: str) -> float:
+        """The action's snapshot-restore penalty (calibrated, else constant)."""
+        return self._calibrated_restore.get(action, self.snapshot_restore_penalty)
+
     def select(self, invokers: Sequence[Invoker], invocation: Invocation) -> int:
         if len(invokers) == 1:
             return 0
         action = invocation.action
         if self._index is not None:
-            # Indexed path: warm set + load heap, no snapshots, no
-            # per-invoker tuple allocation — same key, same tie-breaks.
-            return self._index.warm_aware_choose(action, self.penalty_for(action))
+            # Indexed path: warm/snapshot sets + load heap, no snapshots,
+            # no per-invoker tuple allocation — same key, same tie-breaks.
+            return self._index.warm_aware_choose(
+                action, self.penalty_for(action), self.restore_penalty_for(action)
+            )
         # Scan fallback: the same (load + penalty, load, index) argmin as
-        # :meth:`choose`, but over the live invokers' O(1) load/warmth
-        # accessors, allocation-free (no snapshots, no closure, no key
-        # tuples) — strict ``<`` comparisons keep ties on the lowest index.
+        # :meth:`choose`, but over the live invokers' O(1) load/warmth/
+        # snapshot accessors, without materialising snapshots or key
+        # tuples — strict ``<`` comparisons keep ties on the lowest index.
         cold_penalty = self.penalty_for(action)
+        restore_penalty = self.restore_penalty_for(action)
+
+        def _penalty(invoker: Invoker) -> float:
+            if invoker.warmth(action) > 0:
+                return 0.0
+            if invoker.snapshots_held(action) > 0:
+                return restore_penalty
+            return cold_penalty
+
         best = 0
         best_load = invokers[0].load
-        best_total = best_load + (
-            0.0 if invokers[0].warmth(action) > 0 else cold_penalty
-        )
+        best_total = best_load + _penalty(invokers[0])
         for index in range(1, len(invokers)):
             invoker = invokers[index]
             load = invoker.load
-            total = load + (0.0 if invoker.warmth(action) > 0 else cold_penalty)
+            total = load + _penalty(invoker)
             if total < best_total or (total == best_total and load < best_load):
                 best = index
                 best_load = load
@@ -280,10 +324,16 @@ class WarmAwarePolicy(SchedulingPolicy):
     ) -> int:
         action = invocation.action
         cold_penalty = self.penalty_for(action)
+        restore_penalty = self.restore_penalty_for(action)
 
         def score(index: int) -> Tuple[float, int, int]:
             snap = snapshots[index]
-            penalty = 0.0 if snap.warmth(action) > 0 else cold_penalty
+            if snap.warmth(action) > 0:
+                penalty = 0.0
+            elif snap.restorable(action) > 0:
+                penalty = restore_penalty
+            else:
+                penalty = cold_penalty
             return (snap.load + penalty, snap.load, index)
 
         return min(range(len(snapshots)), key=score)

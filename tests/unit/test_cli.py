@@ -133,6 +133,34 @@ class TestCli:
         ]) == 0
         assert "least-loaded" in capsys.readouterr().out
 
+    def test_latency_under_load_restorable_snapshots(self, capsys):
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "1.0",
+            "--restorable-snapshots", "--snapshot-budget", "4",
+            "--isolation-mechanism", "gh",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Latency under open-loop load" in out
+
+    def test_spectrum_knobs_parse_with_defaults(self):
+        parser = build_parser()
+        for command in ("latency-under-load", "slo-control"):
+            args = parser.parse_args([command])
+            assert args.restorable_snapshots is False
+            assert args.snapshot_budget is None
+            assert args.isolation_mechanism == "gh"
+            args = parser.parse_args([
+                command, "--restorable-snapshots",
+                "--snapshot-budget", "8", "--isolation-mechanism", "criu",
+            ])
+            assert args.restorable_snapshots is True
+            assert args.snapshot_budget == 8
+            assert args.isolation_mechanism == "criu"
+            with pytest.raises(SystemExit):
+                parser.parse_args([command, "--isolation-mechanism", "bogus"])
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -153,8 +181,14 @@ class TestPerfTraceCli:
         assert args.cluster_invocations == 30_000
         args = parser.parse_args(["perf-trace", "--shape", "cluster-scale"])
         assert args.shape == "cluster-scale"
+        args = parser.parse_args(["perf-trace", "--shape", "warmth-spectrum"])
+        assert args.shape == "warmth-spectrum"
+        assert args.warmth_invocations == 150_000
+        assert args.isolation_mechanism == "gh"
         with pytest.raises(SystemExit):
             parser.parse_args(["perf-trace", "--shape", "bogus"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["perf-trace", "--isolation-mechanism", "bogus"])
 
     def test_merge_preserves_sections_not_regenerated(self, tmp_path):
         import json
@@ -166,26 +200,40 @@ class TestPerfTraceCli:
             "benchmark": "perf-trace",
             "modes": {"exact": {"invocations_per_second": 1.0}},
             "cluster_scale": {"benchmark": "cluster-scale", "points": {}},
+            "warmth_spectrum": {"benchmark": "warmth-spectrum", "regimes": {}},
         }))
-        # Regenerating only the metrics shape keeps the cluster section.
+        # Regenerating only the metrics shape keeps the other sections.
         merged = _merge_perf_sections(str(path), {
             "metrics": {"benchmark": "perf-trace", "modes": {}},
         })
         assert merged["modes"] == {}
         assert merged["cluster_scale"]["benchmark"] == "cluster-scale"
+        assert merged["warmth_spectrum"]["benchmark"] == "warmth-spectrum"
         # Regenerating only the cluster shape keeps the metrics section.
         merged = _merge_perf_sections(str(path), {
             "cluster-scale": {"benchmark": "cluster-scale", "points": {"a": 1}},
         })
         assert merged["modes"] == {"exact": {"invocations_per_second": 1.0}}
         assert merged["cluster_scale"]["points"] == {"a": 1}
-        # Both regenerated: nothing survives from the file.
+        assert merged["warmth_spectrum"]["benchmark"] == "warmth-spectrum"
+        # Regenerating only the warmth shape keeps everything else.
+        merged = _merge_perf_sections(str(path), {
+            "warmth-spectrum": {
+                "benchmark": "warmth-spectrum", "regimes": {"on": {}},
+            },
+        })
+        assert merged["modes"] == {"exact": {"invocations_per_second": 1.0}}
+        assert merged["cluster_scale"]["benchmark"] == "cluster-scale"
+        assert merged["warmth_spectrum"]["regimes"] == {"on": {}}
+        # All regenerated: nothing survives from the file.
         merged = _merge_perf_sections(str(path), {
             "metrics": {"benchmark": "perf-trace", "modes": {"m": {}}},
             "cluster-scale": {"benchmark": "cluster-scale", "points": {}},
+            "warmth-spectrum": {"benchmark": "warmth-spectrum", "regimes": {}},
         })
         assert merged["modes"] == {"m": {}}
         assert merged["cluster_scale"]["points"] == {}
+        assert merged["warmth_spectrum"]["regimes"] == {}
 
     def test_merge_tolerates_missing_or_corrupt_baseline(self, tmp_path):
         from repro.cli import _merge_perf_sections
