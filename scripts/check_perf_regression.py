@@ -34,6 +34,15 @@ flags the benchmark asserts: both regimes achieve **equal goodput**, a
 **reduced** — a spectrum that stops paying for itself is a regression
 even when it stays fast.
 
+A fourth section, ``tracing_overhead`` (``perf-trace --shape
+tracing-overhead``), compares the flight recorder off vs sampled on the
+same trace.  The gate applies the throughput floor to the **off** mode
+(the recorder's off path must stay within noise of the tracked
+baseline — "allocation-free" made operational), requires tracing to
+have changed nothing simulated (equal goodput, cold starts and p99
+between the candidate's own off and sampled runs), and bounds the
+candidate-internal ``sampled_cost_fraction`` at 10 %.
+
 Every section present in the baseline must also be present in the
 candidate: a benchmark that silently stops running is the quietest
 regression of all, so a missing section fails with a message naming it.
@@ -66,7 +75,8 @@ def load(path: Path) -> dict:
     has_metrics = report.get("benchmark") == "perf-trace" and "modes" in report
     has_cluster = "points" in report.get("cluster_scale", {})
     has_warmth = "regimes" in report.get("warmth_spectrum", {})
-    if not has_metrics and not has_cluster and not has_warmth:
+    has_tracing = "modes" in report.get("tracing_overhead", {})
+    if not has_metrics and not has_cluster and not has_warmth and not has_tracing:
         raise SystemExit(f"{path} is not a perf-trace report")
     return report
 
@@ -78,6 +88,7 @@ _SECTIONS = {
     "modes (exact-vs-sketch metrics)": lambda report: "modes" in report,
     "cluster_scale": lambda report: "points" in report.get("cluster_scale", {}),
     "warmth_spectrum": lambda report: "regimes" in report.get("warmth_spectrum", {}),
+    "tracing_overhead": lambda report: "modes" in report.get("tracing_overhead", {}),
 }
 
 
@@ -223,6 +234,57 @@ def check_warmth_spectrum(
             )
 
 
+#: Candidate-internal flags the tracing-overhead benchmark asserts: with
+#: the recorder off or sampled, the *simulated* run must be bit-identical.
+_TRACING_IDENTITY_FLAGS = ("equal_goodput", "equal_cold_starts", "equal_p99")
+
+#: Ceiling on the throughput the sampled recorder may cost relative to the
+#: off mode within the same candidate run pair.
+TRACING_SAMPLED_COST_CEILING = 0.10
+
+
+def check_tracing_overhead(
+    candidate: dict, baseline: dict, tolerance: float, failures: list[str]
+) -> None:
+    """Gate the recorder-off-vs-sampled section (when the candidate has it)."""
+    cand_section = candidate.get("tracing_overhead", {})
+    cand_modes = cand_section.get("modes", {})
+    base_modes = baseline.get("tracing_overhead", {}).get("modes", {})
+    if not cand_modes:
+        return
+    for flag in _TRACING_IDENTITY_FLAGS:
+        if cand_section.get(flag) is False:
+            failures.append(
+                f"tracing-overhead: tracing changed simulated behaviour "
+                f"({flag} is false)"
+            )
+    cost = cand_section.get("sampled_cost_fraction")
+    if cost is not None and cost > TRACING_SAMPLED_COST_CEILING:
+        failures.append(
+            f"tracing-overhead: sampled tracing costs {cost:.1%} throughput "
+            f"vs off (ceiling {TRACING_SAMPLED_COST_CEILING:.0%})"
+        )
+    # Only the off mode is gated against the committed baseline: the off
+    # path must stay within noise of a recorder-free build, which is the
+    # operational meaning of "allocation-free instrumentation".
+    got_off = cand_modes.get("off", {}).get("invocations_per_second")
+    want_off = base_modes.get("off", {}).get("invocations_per_second")
+    if got_off is None or want_off is None:
+        return
+    floor = want_off * (1.0 - tolerance)
+    verdict = "ok" if got_off >= floor else "REGRESSED"
+    print(
+        f"{'off':>7}: {got_off:10,.0f} inv/s vs baseline {want_off:10,.0f} "
+        f"(floor {floor:10,.0f}) {verdict}  [tracing off path]"
+    )
+    if got_off < floor:
+        failures.append(
+            f"tracing-overhead off-path throughput {got_off:,.0f} inv/s is "
+            f"more than {tolerance:.0%} below the baseline {want_off:,.0f} "
+            f"inv/s — the disabled recorder is no longer free"
+        )
+
+
 def main(argv: list[str]) -> int:
     if not 1 <= len(argv) <= 2:
         print(__doc__, file=sys.stderr)
@@ -239,6 +301,7 @@ def main(argv: list[str]) -> int:
     check_metrics(candidate, baseline, tolerance, failures)
     check_cluster_scale(candidate, baseline, tolerance, failures)
     check_warmth_spectrum(candidate, baseline, tolerance, failures)
+    check_tracing_overhead(candidate, baseline, tolerance, failures)
 
     if failures:
         for failure in failures:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import gc
+import json
 import multiprocessing
 import random
 import resource
@@ -58,6 +59,11 @@ from repro.faas.loadgen import (
     load_azure_trace_csv,
 )
 from repro.faas.metrics import LatencyStats
+from repro.faas.obs import (
+    export_chrome_trace,
+    latency_decompose,
+    write_chrome_trace,
+)
 from repro.faas.sketch import LatencySketch
 from repro.faas.request import Invocation, InvocationStatus
 from repro.faas.scheduler import estimated_service_seconds, home_index
@@ -877,6 +883,8 @@ def measure_latency_under_load(
     isolation_mechanism: str = "gh",
     caller_for=None,
     seed: int = 20230501,
+    tracing: str = "off",
+    trace_out: Optional[str] = None,
     **mechanism_options,
 ) -> LoadPoint:
     """One open-loop run: Poisson arrivals at ``offered_rps`` into a cluster.
@@ -904,6 +912,9 @@ def measure_latency_under_load(
     warmth-spectrum knobs (``restorable_snapshots``, ``snapshot_budget``,
     ``isolation_mechanism`` — demote evicted containers to restorable
     snapshots and price their restores by the chosen mechanism).
+    ``tracing`` arms the flight recorder (see :mod:`repro.faas.obs`);
+    with ``trace_out`` set the run's recorder is exported as Chrome
+    trace-event JSON to that path after the load finishes.
     """
     if arrivals not in ("poisson", "azure", "azure-diurnal", "azure-file"):
         raise ValueError(f"unknown arrival process {arrivals!r}")
@@ -930,6 +941,7 @@ def measure_latency_under_load(
             snapshot_budget=snapshot_budget,
             isolation_mechanism=isolation_mechanism,
             seed=seed,
+            tracing=tracing,
         )
     )
     names = _deploy_action_copies(
@@ -979,6 +991,13 @@ def measure_latency_under_load(
             caller_for=caller_for,
         )
     result = client.run()
+    if trace_out is not None:
+        recorder = platform.trace()
+        if recorder is None:
+            raise PlatformError(
+                "trace_out requires tracing='sampled' or 'full'"
+            )
+        write_chrome_trace(recorder, trace_out)
     return LoadPoint(
         benchmark=profile.qualified_name,
         config=config,
@@ -1074,6 +1093,8 @@ def run_latency_under_load(
     duration_seconds: float = 4.0,
     warmup_seconds: float = 0.5,
     seed: int = 20230501,
+    tracing: str = "off",
+    trace_out: Optional[str] = None,
 ) -> Dict[str, SweepResult]:
     """Latency-under-load curves: open-loop arrivals swept across strategies.
 
@@ -1082,7 +1103,14 @@ def run_latency_under_load(
     avoidable cold starts.  Returns sweeps keyed ``"throughput"`` (achieved
     vs offered req/s) and ``"p95_ms"`` (p95 end-to-end latency vs offered),
     one series per strategy.
+
+    ``tracing`` arms the flight recorder on every point; ``trace_out``
+    exports the Chrome trace of the *last* point of the sweep — the final
+    strategy at the highest load factor, the run whose queueing the
+    latency decomposer is most interesting on.
     """
+    if trace_out is not None and tracing == "off":
+        raise PlatformError("trace_out requires tracing='sampled' or 'full'")
     if spec is None:
         spec = representative_benchmarks()[0]
     capacity = estimate_cluster_capacity_rps(spec, invokers=invokers, cores=cores)
@@ -1092,18 +1120,26 @@ def run_latency_under_load(
     latency_sweep = SweepResult(
         x_label="offered load (req/s)", y_label="p95 e2e latency (ms)"
     )
-    for policy, stealing in strategies:
+    strategy_list = list(strategies)
+    factor_list = list(load_factors)
+    for strategy_index, (policy, stealing) in enumerate(strategy_list):
         throughput_points = []
         latency_points = []
         label = strategy_label(policy, stealing)
-        for factor in load_factors:
+        for factor_index, factor in enumerate(factor_list):
             offered = capacity * factor
+            last_point = (
+                strategy_index == len(strategy_list) - 1
+                and factor_index == len(factor_list) - 1
+            )
             point = measure_latency_under_load(
                 spec, config,
                 offered_rps=offered, policy=policy, work_stealing=stealing,
                 invokers=invokers, cores=cores, containers=containers,
                 actions=actions, duration_seconds=duration_seconds,
                 warmup_seconds=warmup_seconds, seed=seed,
+                tracing=tracing,
+                trace_out=trace_out if last_point else None,
             )
             throughput_points.append((point.offered_rps, point.achieved_rps))
             # A strategy that completed nothing inside the window has
@@ -1470,6 +1506,8 @@ def run_slo_control(
     snapshot_budget: Optional[int] = None,
     isolation_mechanism: str = "gh",
     seed: int = 20230501,
+    tracing: str = "off",
+    trace_out: Optional[str] = None,
 ) -> SLOControlResult:
     """The control-plane experiment: closed loops vs hand-set (or no) knobs.
 
@@ -1514,12 +1552,22 @@ def run_slo_control(
     * ``"predictive"`` — the PredictivePlanner pre-warms toward the
       forecast arrival rate one boot-time ahead, cutting rising-edge
       cold dispatches and tail latency (see :class:`ForecastOutcome`).
+
+    ``tracing`` arms the flight recorder on the quota and capacity
+    scenarios; ``trace_out`` exports the Chrome trace of the
+    ``"controlled"`` quota run (the decision-audit-richest run: every
+    AIMD cut/raise lands on the timeline next to the invocations it
+    throttled), falling back to the ``"planned"`` capacity run when the
+    quota part is not selected.
     """
     if spec is None:
         spec = representative_benchmarks()[0]
     unknown_parts = set(parts) - {"quota", "capacity", "forecast"}
     if unknown_parts:
         raise ValueError(f"unknown run_slo_control parts: {sorted(unknown_parts)}")
+    if trace_out is not None and tracing == "off":
+        raise PlatformError("trace_out requires tracing='sampled' or 'full'")
+    recorders: Dict[str, object] = {}
 
     polite_slo_p99_ms: Optional[float] = None
     quota_scenarios: Dict[str, ControlScenario] = {}
@@ -1553,6 +1601,7 @@ def run_slo_control(
                     snapshot_budget=snapshot_budget,
                     isolation_mechanism=isolation_mechanism,
                     seed=seed,
+                    tracing=tracing,
                 ),
                 tenant_slos=tenant_slos,
             )
@@ -1571,6 +1620,8 @@ def run_slo_control(
                 caller_for=mix,
             )
             result = client.run()
+            if platform.trace() is not None:
+                recorders[label] = platform.trace()
             return ControlScenario(
                 label=label,
                 admission_policy=admission_policy,
@@ -1644,6 +1695,7 @@ def run_slo_control(
                     snapshot_budget=snapshot_budget,
                     isolation_mechanism=isolation_mechanism,
                     seed=seed,
+                    tracing=tracing,
                 )
             )
             names = _deploy_action_copies(
@@ -1658,6 +1710,8 @@ def run_slo_control(
                 warmup_seconds=capacity_warmup_seconds,
             )
             result = client.run()
+            if platform.trace() is not None:
+                recorders[label] = platform.trace()
             return CapacityPlanOutcome(
                 label=label,
                 offered_rps=result.offered_rps,
@@ -1697,6 +1751,20 @@ def run_slo_control(
             isolation_mechanism=isolation_mechanism,
             seed=seed,
         )
+
+    if trace_out is not None:
+        chosen = None
+        for label in ("controlled", "planned"):
+            if label in recorders:
+                chosen = recorders[label]
+                break
+        if chosen is None and recorders:
+            chosen = list(recorders.values())[-1]
+        if chosen is None:
+            raise PlatformError(
+                "trace_out needs the 'quota' or 'capacity' part selected"
+            )
+        write_chrome_trace(chosen, trace_out)
 
     return SLOControlResult(
         polite_slo_p99_ms=polite_slo_p99_ms,
@@ -2082,6 +2150,7 @@ def perf_trace_config(
     cores: int = 4,
     invokers: int = 4,
     seed: int = 20230501,
+    tracing: str = "off",
 ) -> SimulationConfig:
     """The perf trace's cluster configuration, identical across modes.
 
@@ -2118,6 +2187,7 @@ def perf_trace_config(
         metrics_mode=mode,
         metrics_bucket_seconds=1.0,
         seed=seed,
+        tracing=tracing,
     )
 
 
@@ -2132,6 +2202,8 @@ def _perf_trace_run(
     load_factor: float = 0.7,
     cycles: int = 3,
     trace_file: Optional[str] = None,
+    tracing: str = "off",
+    export_trace: bool = False,
 ) -> Dict[str, object]:
     """Replay the synthetic multi-day Azure-shaped trace once.
 
@@ -2164,7 +2236,9 @@ def _perf_trace_run(
     # actually replays >= 10^6 arrivals.
     duration = 1.1 * invocations / offered
     platform = FaaSCluster(
-        perf_trace_config(mode, cores=cores, invokers=invokers, seed=seed)
+        perf_trace_config(
+            mode, cores=cores, invokers=invokers, seed=seed, tracing=tracing
+        )
     )
     deployed = _deploy_action_copies(
         platform,
@@ -2206,7 +2280,7 @@ def _perf_trace_run(
     result = client.run()
     stats = platform.metrics.e2e_stats()
     wall = time.perf_counter() - started
-    return {
+    summary: Dict[str, object] = {
         "mode": mode,
         "seed": seed,
         "arrivals": result.issued,
@@ -2221,8 +2295,16 @@ def _perf_trace_run(
         "duration_seconds": duration,
         "offered_rps": offered,
         "trace_file": trace_file,
+        "tracing": tracing,
         "e2e_sketch": _e2e_as_sketch(platform),
     }
+    recorder = platform.trace()
+    if recorder is not None:
+        summary["traces_recorded"] = len(recorder.invocations)
+        summary["trace_digest"] = recorder.trace_digest()
+        if export_trace:
+            summary["trace_export"] = export_chrome_trace(recorder)
+    return summary
 
 
 def _e2e_as_sketch(platform: FaaSCluster) -> "LatencySketch":
@@ -2335,6 +2417,143 @@ def run_perf_trace(
         report["equal_cold_starts"] = (
             exact["cold_starts"] == sketch["cold_starts"]
         )
+    return report
+
+
+def traced_replica_worker(seed: int) -> Dict[str, object]:
+    """A :func:`run_replicated` worker that returns a sampled-trace digest.
+
+    Replays a small sketch-mode perf trace with ``tracing="sampled"`` and
+    returns only plain picklable fields — most importantly the
+    recorder's :meth:`~repro.faas.obs.TraceRecorder.trace_digest`, which
+    must be identical whether the replica ran serially in the parent or
+    inside a spawn-started worker process (the sampling key is the
+    run-local arrival ordinal, never the process-global invocation id).
+    """
+    summary = _perf_trace_run(
+        "sketch", invocations=3_000, seed=seed, tracing="sampled"
+    )
+    return {
+        "seed": seed,
+        "arrivals": summary["arrivals"],
+        "traces_recorded": summary["traces_recorded"],
+        "trace_digest": summary["trace_digest"],
+    }
+
+
+#: The flight-recorder modes the tracing-overhead baseline compares.
+TRACING_OVERHEAD_MODES: Tuple[str, ...] = ("off", "sampled")
+
+
+def _tracing_overhead_worker(
+    job: Tuple[str, int, int, bool]
+) -> Dict[str, object]:
+    """Child-process entry: one tracing mode of the overhead comparison."""
+    tracing, invocations, seed, export_trace = job
+    summary = _perf_trace_run(
+        "sketch",
+        invocations=invocations,
+        seed=seed,
+        tracing=tracing,
+        export_trace=export_trace,
+    )
+    summary["max_rss_mb"] = _peak_rss_mb()
+    summary.pop("e2e_sketch", None)
+    return summary
+
+
+def run_tracing_overhead(
+    *,
+    invocations: int = 150_000,
+    seed: int = 20230501,
+    processes: int = 1,
+    modes: Sequence[str] = TRACING_OVERHEAD_MODES,
+    export_trace: bool = False,
+    repeats: int = 1,
+) -> Dict[str, object]:
+    """The flight recorder's perf section: tracing off vs sampled.
+
+    Replays the identical sketch-mode diurnal perf trace once per
+    tracing mode, each in its own spawn-started child (fresh interpreter
+    → uncontaminated wall-clock and RSS), then cross-checks that tracing
+    changed *nothing simulated* — equal goodput, cold starts and p99 —
+    and prices the recorder: ``sampled_cost_fraction`` is the throughput
+    lost to sampled tracing relative to the off mode **within this run
+    pair**, the number the regression gate bounds at 10%.  The off mode's
+    absolute throughput is additionally gated against the committed
+    baseline like every other perf section, which is what "the off path
+    is allocation-free" means operationally: no recorder exists, every
+    instrumentation site is one ``is None`` test, and the gate would
+    catch anything slower than noise.
+
+    ``export_trace`` attaches the sampled run's Chrome trace-event
+    export to the report under ``"trace_export"`` (CI uploads it as an
+    artifact); it is stripped before the report lands in a baseline
+    file.
+
+    ``repeats`` runs each mode that many times and reports the *best*
+    (highest-throughput) run per mode — min-of-N wall clock, the usual
+    defence against scheduler noise.  At full scale (10^5+ arrivals,
+    tens of seconds per run) a single pair is stable; at CI's quick
+    scale a run is ~2 s of wall clock and a single pair can swing the
+    apparent cost fraction by ±15 %, so the quick path repeats.  The
+    simulation is deterministic, so repeats differ only in timing —
+    every behavioural field is identical across them.
+    """
+    repeats = max(1, int(repeats))
+    jobs = [
+        (
+            mode,
+            int(invocations),
+            int(seed),
+            export_trace and mode != "off" and repeat == 0,
+        )
+        for mode in modes
+        for repeat in range(repeats)
+    ]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(min(max(1, processes), len(jobs)), maxtasksperchild=1) as pool:
+        if processes > 1:
+            summaries = pool.map(_tracing_overhead_worker, jobs)
+        else:
+            summaries = [
+                pool.apply(_tracing_overhead_worker, (job,)) for job in jobs
+            ]
+    export = None
+    by_mode: Dict[str, Dict[str, object]] = {}
+    for summary in summaries:
+        exported = summary.pop("trace_export", None)
+        if exported is not None:
+            export = exported
+        mode = str(summary["tracing"])
+        best = by_mode.get(mode)
+        if (
+            best is None
+            or summary["invocations_per_second"] > best["invocations_per_second"]
+        ):
+            by_mode[mode] = summary
+    report: Dict[str, object] = {
+        "benchmark": "tracing-overhead",
+        "invocations_requested": int(invocations),
+        "seed": int(seed),
+        "repeats": repeats,
+        "modes": by_mode,
+    }
+    if export is not None:
+        report["trace_export"] = export
+    if "off" in by_mode and "sampled" in by_mode:
+        off, sampled = by_mode["off"], by_mode["sampled"]
+        report["equal_goodput"] = (
+            off["goodput_fraction"] == sampled["goodput_fraction"]
+        )
+        report["equal_cold_starts"] = off["cold_starts"] == sampled["cold_starts"]
+        report["equal_p99"] = off["p99_ms"] == sampled["p99_ms"]
+        report["sampled_cost_fraction"] = (
+            1.0 - sampled["invocations_per_second"] / off["invocations_per_second"]
+            if off["invocations_per_second"] > 0
+            else None
+        )
+        report["traces_recorded"] = sampled.get("traces_recorded", 0)
     return report
 
 
@@ -2578,6 +2797,7 @@ def warmth_spectrum_config(
     snapshot_budget: int = 8,
     isolation_mechanism: str = "gh",
     seed: int = 20230501,
+    tracing: str = "off",
 ) -> SimulationConfig:
     """The warmth-spectrum trace's configuration, one regime at a time.
 
@@ -2610,6 +2830,7 @@ def warmth_spectrum_config(
         snapshot_budget=(snapshot_budget if regime == "on" else None),
         isolation_mechanism=isolation_mechanism,
         seed=seed,
+        tracing=tracing,
     )
 
 
@@ -2631,6 +2852,7 @@ def _warmth_spectrum_run(
     actions: int = 8,
     load_factor: float = 0.75,
     isolation_mechanism: str = "gh",
+    tracing: str = "off",
 ) -> Dict[str, object]:
     """Replay one diurnal warmth-spectrum trace under one regime.
 
@@ -2661,6 +2883,7 @@ def _warmth_spectrum_run(
             snapshot_budget=2 * cores,
             isolation_mechanism=isolation_mechanism,
             seed=seed,
+            tracing=tracing,
         )
     )
     deployed = _deploy_action_copies(
@@ -2709,7 +2932,7 @@ def _warmth_spectrum_run(
     restore_dispatch_times = sorted(
         at for inv in platform.invokers for at in inv.restore_dispatch_times
     )
-    return {
+    summary: Dict[str, object] = {
         "regime": regime,
         "seed": seed,
         "isolation_mechanism": isolation_mechanism,
@@ -2745,6 +2968,57 @@ def _warmth_spectrum_run(
         "duration_seconds": duration,
         "offered_rps": offered,
     }
+    recorder = platform.trace()
+    if recorder is not None:
+        summary["tracing"] = tracing
+        summary["traces_recorded"] = len(recorder.invocations)
+        summary["trace_digest"] = recorder.trace_digest()
+        summary["decomposition"] = latency_decompose(recorder)
+        summary["trace_export"] = export_chrome_trace(recorder)
+    return summary
+
+
+def run_trace_capture(
+    *,
+    regime: str = "on",
+    invocations: int = 20_000,
+    seed: int = 20230501,
+    tracing: str = "sampled",
+    isolation_mechanism: str = "gh",
+    trace_out: Optional[str] = None,
+) -> Dict[str, object]:
+    """Record one traced diurnal run and decompose its latency by phase.
+
+    The scenario is the warmth-spectrum trace (the PR 8 restore-vs-boot
+    story) with the flight recorder on, so the decomposition directly
+    attributes the cold-vs-restore p99 gap: under regime ``"off"`` the
+    cold dispatch class is dominated by the ``boot`` phase; under
+    ``"on"`` the restore class pays only the (far cheaper) ``restore``
+    phase.  ``trace_out`` additionally writes the Chrome trace-event
+    JSON for Perfetto.
+
+    Returns the :func:`_warmth_spectrum_run` summary extended with
+    ``decomposition`` (see :func:`repro.faas.obs.latency_decompose`) and
+    ``trace_export``; when ``trace_out`` is set, the export is written
+    there and replaced in the summary by the path and event count.
+    """
+    if tracing == "off":
+        raise PlatformError("run_trace_capture needs tracing 'sampled' or 'full'")
+    summary = _warmth_spectrum_run(
+        regime,
+        invocations=invocations,
+        seed=seed,
+        isolation_mechanism=isolation_mechanism,
+        tracing=tracing,
+    )
+    if trace_out is not None:
+        export = summary.pop("trace_export")
+        with open(trace_out, "w", encoding="utf-8") as handle:
+            json.dump(export, handle, indent=None, separators=(",", ":"))
+            handle.write("\n")
+        summary["trace_out"] = trace_out
+        summary["trace_events_written"] = len(export["traceEvents"])
+    return summary
 
 
 def _warmth_spectrum_worker(

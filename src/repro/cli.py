@@ -18,6 +18,9 @@ Usage (after installing the package)::
     python -m repro.cli perf-trace [--invocations N] [--quick]
                                    [--modes exact sketch]
                                    [--output BENCH_perf.json]
+                                   [--trace-out trace.json]
+    python -m repro.cli trace [--regime on|off] [--tracing sampled|full]
+                              [--out trace.json]
 
 The heavier experiment drivers (full latency/throughput suites, sweeps,
 ablations) are exposed through the benchmark harness under ``benchmarks/``;
@@ -44,6 +47,8 @@ from repro.analysis.experiments import (
     run_perf_trace,
     run_slo_control,
     run_tenant_fairness,
+    run_trace_capture,
+    run_tracing_overhead,
     run_warmth_spectrum,
 )
 from repro.analysis.tables import render_table
@@ -54,7 +59,9 @@ from repro.config import (
     METRICS_MODES,
     PLANNER_KINDS,
     SCHEDULER_POLICIES,
+    TRACING_MODES,
 )
+from repro.faas.obs import render_decomposition
 from repro.workloads import all_benchmarks, benchmarks_by_suite, find_benchmark
 
 
@@ -179,6 +186,10 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
               "(it configures the predictive planner's forecaster)",
               file=sys.stderr)
         return 2
+    if args.trace_out is not None and args.tracing == "off":
+        print("error: --trace-out requires --tracing sampled or full",
+              file=sys.stderr)
+        return 2
     spec = _spec_from_args(args)
     capacity = estimate_cluster_capacity_rps(
         spec, invokers=args.invokers, cores=args.cores
@@ -186,35 +197,45 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
     # Warmup must fall inside the run whatever --duration was given.
     warmup = args.warmup if args.warmup is not None else min(0.5, args.duration / 8)
     rows = []
-    for policy, stealing in LOAD_STRATEGIES:
-        for factor in args.load_factors:
-            point = measure_latency_under_load(
-                spec, args.config,
-                offered_rps=capacity * factor,
-                policy=policy, work_stealing=stealing,
-                invokers=args.invokers, cores=args.cores,
-                actions=args.actions,
-                duration_seconds=args.duration,
-                warmup_seconds=warmup,
-                arrivals=args.arrivals,
-                trace_file=args.trace_file,
-                control_plane=args.planner is not None,
-                planner=args.planner or "reactive",
-                forecast_period_seconds=args.forecast_period,
-                restorable_snapshots=args.restorable_snapshots,
-                snapshot_budget=args.snapshot_budget,
-                isolation_mechanism=args.isolation_mechanism,
-            )
-            rows.append([
-                point.strategy,
-                f"{point.offered_rps:.1f}",
-                f"{point.achieved_rps:.1f}",
-                f"{point.goodput_fraction * 100:.0f}%",
-                f"{point.p50_ms:.1f}" if point.p50_ms is not None else "-",
-                f"{point.p95_ms:.1f}" if point.p95_ms is not None else "-",
-                str(point.cold_starts),
-                str(point.steals),
-            ])
+    points = [
+        (policy, stealing, factor)
+        for policy, stealing in LOAD_STRATEGIES
+        for factor in args.load_factors
+    ]
+    for index, (policy, stealing, factor) in enumerate(points):
+        point = measure_latency_under_load(
+            spec, args.config,
+            offered_rps=capacity * factor,
+            policy=policy, work_stealing=stealing,
+            invokers=args.invokers, cores=args.cores,
+            actions=args.actions,
+            duration_seconds=args.duration,
+            warmup_seconds=warmup,
+            arrivals=args.arrivals,
+            trace_file=args.trace_file,
+            control_plane=args.planner is not None,
+            planner=args.planner or "reactive",
+            forecast_period_seconds=args.forecast_period,
+            restorable_snapshots=args.restorable_snapshots,
+            snapshot_budget=args.snapshot_budget,
+            isolation_mechanism=args.isolation_mechanism,
+            tracing=args.tracing,
+            # Export the last point: the final strategy at the highest
+            # load, where queueing makes the decomposition interesting.
+            trace_out=(
+                args.trace_out if index == len(points) - 1 else None
+            ),
+        )
+        rows.append([
+            point.strategy,
+            f"{point.offered_rps:.1f}",
+            f"{point.achieved_rps:.1f}",
+            f"{point.goodput_fraction * 100:.0f}%",
+            f"{point.p50_ms:.1f}" if point.p50_ms is not None else "-",
+            f"{point.p95_ms:.1f}" if point.p95_ms is not None else "-",
+            str(point.cold_starts),
+            str(point.steals),
+        ])
     print(render_table(
         ["strategy", "offered (req/s)", "achieved (req/s)", "goodput",
          "p50 (ms)", "p95 (ms)", "cold starts", "steals"],
@@ -225,6 +246,8 @@ def cmd_latency_under_load(args: argparse.Namespace) -> int:
             f"{args.actions} actions, {args.arrivals} arrivals)"
         ),
     ))
+    if args.trace_out is not None:
+        print(f"wrote Chrome trace of the last point to {args.trace_out}")
     return 0
 
 
@@ -276,6 +299,10 @@ def cmd_tenant_fairness(args: argparse.Namespace) -> int:
 
 def cmd_slo_control(args: argparse.Namespace) -> int:
     """Closed-loop control plane vs static knobs: quotas and capacity."""
+    if args.trace_out is not None and args.tracing == "off":
+        print("error: --trace-out requires --tracing sampled or full",
+              file=sys.stderr)
+        return 2
     spec = _spec_from_args(args)
     result = run_slo_control(
         spec,
@@ -290,6 +317,8 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
         restorable_snapshots=args.restorable_snapshots,
         snapshot_budget=args.snapshot_budget,
         isolation_mechanism=args.isolation_mechanism,
+        tracing=args.tracing,
+        trace_out=args.trace_out,
     )
     if result.quota:
         rows = []
@@ -396,17 +425,30 @@ def cmd_slo_control(args: argparse.Namespace) -> int:
             f"actions forecastable, {stats['forecast_fallback_ticks']} "
             "reactive-fallback ticks"
         )
+    if args.trace_out is not None:
+        print(f"wrote Chrome trace (decision audits included) to "
+              f"{args.trace_out}")
     return 0
 
 
 #: ``perf-trace --shape`` choices: which tracked traces to (re)measure.
-PERF_TRACE_SHAPES = ("metrics", "cluster-scale", "warmth-spectrum", "all")
+PERF_TRACE_SHAPES = (
+    "metrics", "cluster-scale", "warmth-spectrum", "tracing-overhead", "all"
+)
 
 #: ``--quick`` arrivals per cluster-scale point: the CI smoke scale.
 CLUSTER_SCALE_QUICK_INVOCATIONS = 8_000
 
 #: ``--quick`` arrivals for the warmth-spectrum trace: the CI smoke scale.
 WARMTH_SPECTRUM_QUICK_INVOCATIONS = 20_000
+
+#: ``--quick`` arrivals for the tracing-overhead pair: the CI smoke scale.
+TRACING_OVERHEAD_QUICK_INVOCATIONS = 20_000
+
+#: ``--quick`` repeats per tracing mode (best-of-N): a single ~2 s run
+#: pair is too noisy to support the 10% sampled-cost ceiling, so the CI
+#: quick shape takes the best of three runs per mode.
+TRACING_OVERHEAD_QUICK_REPEATS = 3
 
 
 def _run_perf_trace_metrics(args: argparse.Namespace) -> dict:
@@ -558,15 +600,81 @@ def _run_perf_trace_warmth(args: argparse.Namespace) -> dict:
     return report
 
 
+def _run_perf_trace_tracing(args: argparse.Namespace) -> dict:
+    """The tracing-overhead shape of ``perf-trace``: recorder off vs sampled."""
+    invocations = (
+        TRACING_OVERHEAD_QUICK_INVOCATIONS
+        if args.quick
+        else args.tracing_invocations
+    )
+    report = run_tracing_overhead(
+        invocations=invocations,
+        seed=args.seed,
+        processes=args.processes,
+        export_trace=args.trace_out is not None,
+        repeats=TRACING_OVERHEAD_QUICK_REPEATS if args.quick else 1,
+    )
+    report["quick"] = bool(args.quick)
+    export = report.pop("trace_export", None)
+    if args.trace_out is not None and export is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(export, handle, separators=(",", ":"))
+            handle.write("\n")
+        print(
+            f"wrote {args.trace_out} "
+            f"({len(export['traceEvents'])} trace events)"
+        )
+    rows = [
+        [
+            summary["tracing"],
+            str(summary["arrivals"]),
+            f"{summary['wall_seconds']:.1f}",
+            f"{summary['invocations_per_second']:.0f}",
+            f"{summary['max_rss_mb']:.0f}",
+            f"{summary['goodput_fraction'] * 100:.2f}%",
+            str(summary["cold_starts"]),
+            str(summary.get("traces_recorded", 0)),
+        ]
+        for summary in report["modes"].values()
+    ]
+    print(render_table(
+        ["tracing", "arrivals", "wall (s)", "arrivals/s", "peak RSS (MB)",
+         "goodput", "cold starts", "traces kept"],
+        rows,
+        title=(
+            f"tracing-overhead — {invocations:,} requested arrivals over "
+            "the diurnal metrics trace (each mode in its own process"
+            + (
+                f", best of {report['repeats']} runs per mode)"
+                if report.get("repeats", 1) > 1
+                else ")"
+            )
+        ),
+    ))
+    if "sampled_cost_fraction" in report:
+        cost = report["sampled_cost_fraction"]
+        identical = all(
+            report[flag]
+            for flag in ("equal_goodput", "equal_cold_starts", "equal_p99")
+        )
+        print(
+            f"sampled tracing cost: "
+            f"{'-' if cost is None else f'{cost * 100:.1f}%'} throughput "
+            f"vs off ({report['traces_recorded']} traces kept, simulated "
+            f"behaviour identical={identical})"
+        )
+    return report
+
+
 def _merge_perf_sections(path: str, sections: dict) -> dict:
     """Merge freshly measured sections into the baseline file's contents.
 
     The baseline JSON keeps the metrics report at top level (its historic
-    layout) with the cluster-scale and warmth-spectrum reports nested
-    under ``cluster_scale`` / ``warmth_spectrum``.  Shapes that did not
-    run this invocation are preserved from the existing file, so
-    ``--shape cluster-scale`` does not clobber the tracked metrics
-    baseline and vice versa.
+    layout) with the cluster-scale, warmth-spectrum and tracing-overhead
+    reports nested under ``cluster_scale`` / ``warmth_spectrum`` /
+    ``tracing_overhead``.  Shapes that did not run this invocation are
+    preserved from the existing file, so ``--shape cluster-scale`` does
+    not clobber the tracked metrics baseline and vice versa.
     """
     existing: dict = {}
     try:
@@ -579,7 +687,7 @@ def _merge_perf_sections(path: str, sections: dict) -> dict:
         merged = dict(existing)
     else:
         merged = dict(metrics)
-        for nested in ("cluster_scale", "warmth_spectrum"):
+        for nested in ("cluster_scale", "warmth_spectrum", "tracing_overhead"):
             if nested in existing:
                 merged[nested] = existing[nested]
     cluster = sections.get("cluster-scale")
@@ -588,6 +696,9 @@ def _merge_perf_sections(path: str, sections: dict) -> dict:
     warmth = sections.get("warmth-spectrum")
     if warmth is not None:
         merged["warmth_spectrum"] = warmth
+    tracing = sections.get("tracing-overhead")
+    if tracing is not None:
+        merged["tracing_overhead"] = tracing
     return merged
 
 
@@ -601,12 +712,44 @@ def cmd_perf_trace(args: argparse.Namespace) -> int:
         sections["cluster-scale"] = _run_perf_trace_cluster_scale(args)
     if "warmth-spectrum" in shapes:
         sections["warmth-spectrum"] = _run_perf_trace_warmth(args)
+    if "tracing-overhead" in shapes:
+        sections["tracing-overhead"] = _run_perf_trace_tracing(args)
     if args.output:
         merged = _merge_perf_sections(args.output, sections)
         with open(args.output, "w") as handle:
             json.dump(merged, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a traced run and print its phase-level latency decomposition."""
+    try:
+        summary = run_trace_capture(
+            regime=args.regime,
+            invocations=args.invocations,
+            seed=args.seed,
+            tracing=args.tracing,
+            isolation_mechanism=args.isolation_mechanism,
+            trace_out=args.trace_out,
+        )
+    except OSError as exc:
+        print(f"error: cannot write trace output: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"trace — warmth spectrum {args.regime}, "
+        f"{summary['arrivals']} arrivals, tracing={summary['tracing']}, "
+        f"{summary['traces_recorded']} invocation traces kept "
+        f"(digest {summary['trace_digest']})"
+    )
+    print(render_decomposition(summary["decomposition"]))
+    if args.trace_out is not None:
+        print(
+            f"wrote Chrome trace to {summary['trace_out']} "
+            f"({summary['trace_events_written']} events; open in "
+            "https://ui.perfetto.dev or chrome://tracing)"
+        )
     return 0
 
 
@@ -737,6 +880,14 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=ISOLATION_MECHANISMS, default="gh",
                              help="mechanism whose cost model prices "
                                   "snapshot restores (default: gh)")
+    load_parser.add_argument("--tracing", choices=TRACING_MODES,
+                             default="off",
+                             help="arm the flight recorder on every point "
+                                  "(default: off)")
+    load_parser.add_argument("--trace-out", default=None,
+                             help="export the last point's Chrome "
+                                  "trace-event JSON here (requires "
+                                  "--tracing sampled or full)")
     load_parser.set_defaults(func=cmd_latency_under_load)
 
     fairness_parser = subparsers.add_parser(
@@ -808,6 +959,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=ISOLATION_MECHANISMS, default="gh",
                                 help="mechanism whose cost model prices "
                                      "snapshot restores (default: gh)")
+    control_parser.add_argument("--tracing", choices=TRACING_MODES,
+                                default="off",
+                                help="arm the flight recorder on the quota "
+                                     "and capacity scenarios (default: off)")
+    control_parser.add_argument("--trace-out", default=None,
+                                help="export the controlled scenario's "
+                                     "Chrome trace-event JSON — AIMD and "
+                                     "planner decision audits included "
+                                     "(requires --tracing sampled or full)")
     control_parser.set_defaults(func=cmd_slo_control)
 
     perf_parser = subparsers.add_parser(
@@ -834,6 +994,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="arrivals in the warmth-spectrum trace "
                                   "(default: 150,000; the spectrum-off "
                                   "comparator replays them too)")
+    perf_parser.add_argument("--tracing-invocations", type=int,
+                             default=150_000,
+                             help="arrivals in the tracing-overhead pair "
+                                  "(default: 150,000; the off comparator "
+                                  "replays them too)")
     perf_parser.add_argument("--isolation-mechanism",
                              choices=ISOLATION_MECHANISMS, default="gh",
                              help="mechanism whose cost model prices the "
@@ -863,7 +1028,45 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--output", default="BENCH_perf.json",
                              help="where to write the JSON baseline "
                                   "('' disables; default: BENCH_perf.json)")
+    perf_parser.add_argument("--trace-out", default=None,
+                             help="with the tracing-overhead shape: also "
+                                  "export the sampled run's Chrome "
+                                  "trace-event JSON here (CI uploads it "
+                                  "as an artifact)")
     perf_parser.set_defaults(func=cmd_perf_trace)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="flight recorder: replay a traced diurnal run, print the "
+             "phase-level latency decomposition per tenant and dispatch "
+             "class, optionally export a Chrome/Perfetto trace",
+    )
+    trace_parser.add_argument("--regime", choices=("on", "off"),
+                              default="on",
+                              help="warmth spectrum on (evictions demote "
+                                   "to restorable snapshots) or off (every "
+                                   "re-warm is a full cold boot); compare "
+                                   "the boot vs restore phase shares "
+                                   "(default: on)")
+    trace_parser.add_argument("--invocations", type=int, default=20_000,
+                              help="requested arrivals (default: 20,000)")
+    trace_parser.add_argument("--tracing",
+                              choices=("sampled", "full"),
+                              default="sampled",
+                              help="record 1-in-16 deterministically "
+                                   "sampled invocations or every one "
+                                   "(default: sampled)")
+    trace_parser.add_argument("--isolation-mechanism",
+                              choices=ISOLATION_MECHANISMS, default="gh",
+                              help="mechanism whose cost model prices "
+                                   "snapshot restores (default: gh)")
+    trace_parser.add_argument("--seed", type=int, default=20230501)
+    trace_parser.add_argument("--out", "--trace-out", dest="trace_out",
+                              default=None,
+                              help="write the Chrome trace-event JSON "
+                                   "here (load in https://ui.perfetto.dev "
+                                   "or chrome://tracing)")
+    trace_parser.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -74,6 +74,15 @@ ISOLATION_MECHANISMS = ("base", "gh", "gh-nop", "fork", "faasm", "cold", "criu")
 #: in bounded memory.  See :mod:`repro.faas.metrics`.
 METRICS_MODES = ("exact", "sketch")
 
+#: Flight-recorder modes (see :mod:`repro.faas.obs`).  ``off`` carries no
+#: recorder at all — the instrumentation sites reduce to one ``is None``
+#: check and the simulation is bit-identical to a build without tracing.
+#: ``sampled`` records a seed-deterministic hash-sampled subset of
+#: invocations (1 in ``trace_sample_period``); ``full`` records every
+#: invocation.  Both record every control-plane audit event and
+#: container boot/restore span, all in bounded ring buffers.
+TRACING_MODES = ("off", "sampled", "full")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -232,6 +241,20 @@ class SimulationConfig:
     #: Live sketch-mode buckets retained at full time resolution before
     #: the oldest fold into the run-lifetime archive.
     metrics_max_buckets: int = 4096
+    #: Flight recorder (see :mod:`repro.faas.obs`): ``"off"`` (no
+    #: recorder, the seed behaviour, bit-identical timing), ``"sampled"``
+    #: (hash-sampled per-invocation lifecycle spans keyed on
+    #: ``(seed, arrival ordinal)`` — deterministic across serial and
+    #: parallel replication), or ``"full"`` (every invocation).
+    tracing: str = "off"
+    #: Sampling period in ``"sampled"`` mode: one invocation in this many
+    #: is traced.  1 traces everything (equivalent to ``"full"`` for
+    #: invocation spans).
+    trace_sample_period: int = 16
+    #: Capacity of each flight-recorder ring buffer (invocation traces,
+    #: container spans, audit events) — memory stays bounded on
+    #: million-invocation runs; the oldest records are evicted first.
+    trace_buffer_size: int = 65536
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -326,6 +349,15 @@ class SimulationConfig:
             raise ValueError("forecast_min_history_seconds must be >= 0")
         if self.forecast_horizon_margin_seconds < 0:
             raise ValueError("forecast_horizon_margin_seconds must be >= 0")
+        if self.tracing not in TRACING_MODES:
+            raise ValueError(
+                f"unknown tracing mode {self.tracing!r}; "
+                f"choose one of {TRACING_MODES}"
+            )
+        if self.trace_sample_period < 1:
+            raise ValueError("trace_sample_period must be >= 1")
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be >= 1")
 
     def with_cores(self, cores: int) -> "SimulationConfig":
         """Return a copy of this config with a different core count."""
@@ -346,6 +378,10 @@ class SimulationConfig:
     def with_policy(self, scheduler_policy: str) -> "SimulationConfig":
         """Return a copy with a different scheduling policy."""
         return replace(self, scheduler_policy=scheduler_policy)
+
+    def with_tracing(self, tracing: str) -> "SimulationConfig":
+        """Return a copy with a different flight-recorder mode."""
+        return replace(self, tracing=tracing)
 
 
 #: Configuration matching the paper's latency experiments: a 4-core VM with a

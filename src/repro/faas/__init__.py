@@ -48,6 +48,17 @@ from repro.faas.loadgen import (
     load_azure_trace_csv,
 )
 from repro.faas.metrics import LatencyStats, MetricsCollector, summarize
+from repro.faas.obs import (
+    AuditEvent,
+    InvocationTrace,
+    Span,
+    TraceRecorder,
+    chrome_trace_events,
+    export_chrome_trace,
+    latency_decompose,
+    render_decomposition,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Invocation",
@@ -95,4 +106,13 @@ __all__ = [
     "LatencyStats",
     "MetricsCollector",
     "summarize",
+    "AuditEvent",
+    "InvocationTrace",
+    "Span",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "latency_decompose",
+    "render_decomposition",
+    "write_chrome_trace",
 ]

@@ -29,6 +29,7 @@ from repro.faas.container import Container
 from repro.faas.controller import Controller
 from repro.faas.invoker import Invoker
 from repro.faas.metrics import MetricsCollector
+from repro.faas.obs import TraceRecorder
 from repro.faas.request import Invocation
 from repro.faas.restorecost import restore_seconds_for
 from repro.faas.scheduler import (
@@ -80,6 +81,19 @@ class FaaSCluster:
             )
         elif self.config.control_plane:
             self.quotas = TenantQuotas(self.UNTUNED_QUOTA_RPS)
+        #: The flight recorder (None when ``config.tracing == "off"`` —
+        #: the off path carries no recorder object at all, so every
+        #: instrumentation site is a single ``is None`` check).
+        self.tracer: Optional[TraceRecorder] = (
+            TraceRecorder(
+                self.config.tracing,
+                seed=self.config.seed,
+                sample_period=self.config.trace_sample_period,
+                capacity=self.config.trace_buffer_size,
+            )
+            if self.config.tracing != "off"
+            else None
+        )
         self.invokers: List[Invoker] = [
             Invoker(
                 self.loop,
@@ -97,6 +111,7 @@ class FaaSCluster:
                 restorable_snapshots=self.config.restorable_snapshots,
                 snapshot_budget=self.config.snapshot_budget,
                 isolation_mechanism=self.config.isolation_mechanism,
+                tracer=self.tracer,
             )
             for index in range(self.config.invokers)
         ]
@@ -141,6 +156,7 @@ class FaaSCluster:
                 forecast_horizon_margin_seconds=(
                     self.config.forecast_horizon_margin_seconds
                 ),
+                tracer=self.tracer,
             )
             if self.config.control_plane
             else None
@@ -264,8 +280,12 @@ class FaaSCluster:
             caller=caller,
             submitted_at=self.loop.now,
         )
+        if self.tracer is not None:
+            invocation.trace = self.tracer.begin_invocation(invocation)
 
         def record(finished: Invocation) -> None:
+            if finished.trace is not None:
+                self.tracer.finish_invocation(finished)
             self.metrics.record(finished)
             self.per_action_metrics[action].record(finished)
             if on_complete is not None:
@@ -345,6 +365,16 @@ class FaaSCluster:
         if self.control_plane is None:
             return {}
         return self.control_plane.stats()
+
+    def trace(self) -> Optional[TraceRecorder]:
+        """The flight recorder (None when ``config.tracing == "off"``).
+
+        Mirrors :meth:`control_plane_stats`: an always-callable accessor
+        whose emptiness encodes "the subsystem is disabled".  Feed the
+        recorder to :func:`repro.faas.obs.export_chrome_trace` or
+        :func:`repro.faas.obs.latency_decompose`.
+        """
+        return self.tracer
 
     @property
     def warm_hit_rate(self) -> float:

@@ -58,6 +58,7 @@ class ControlPlane:
         forecast_period_seconds: Optional[float] = None,
         forecast_min_history_seconds: float = 2.0,
         forecast_horizon_margin_seconds: float = 0.0,
+        tracer=None,
     ) -> None:
         if interval_seconds <= 0:
             raise PlatformError("control interval must be positive")
@@ -106,6 +107,9 @@ class ControlPlane:
         self.ticks = 0
         #: Human-readable tuner actions, most recent tick last.
         self.tuner_log: List[str] = []
+        #: Flight recorder (``repro.faas.obs.TraceRecorder``) the audit
+        #: events land in; ``None`` with tracing off.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Timer lifecycle
@@ -164,7 +168,38 @@ class ControlPlane:
             weights=self.cluster.set_tenant_weight,
         )
         self.tuner_log.extend(actions)
-        self.planner.plan(self.cluster.invokers, now)
+        decisions = self.planner.plan(self.cluster.invokers, now)
+        if self.tracer is not None and (actions or decisions):
+            self._audit(now, statuses, actions, decisions)
+
+    def _audit(self, now, statuses, actions, decisions) -> None:
+        """Land this tick's tuner actions and planner decisions on the
+        flight recorder's timeline, each tuner action annotated with the
+        triggering tenant's SLO window when one is violating."""
+        windows = {}
+        for tenant, status in statuses.items():
+            if status.latency_violated or status.goodput_violated:
+                p99 = (
+                    f"{status.p99_ms:.1f}ms"
+                    if status.p99_ms is not None
+                    else "n/a"
+                )
+                windows[tenant] = (
+                    f"window p99={p99} goodput={status.goodput:.2f} "
+                    f"demand={status.demand_rps:.1f}rps"
+                )
+        for action in actions:
+            parts = action.split(":")
+            tenant = parts[1] if len(parts) > 1 else ""
+            detail = action
+            if tenant in windows:
+                detail = f"{action} [{windows[tenant]}]"
+            self.tracer.audit(now, "tuner", detail, actor="control-plane")
+        for decision in decisions:
+            self.tracer.audit(
+                decision.at, "planner", decision.describe(),
+                actor="control-plane",
+            )
 
     # ------------------------------------------------------------------
     # Observability

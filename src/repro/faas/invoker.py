@@ -250,6 +250,7 @@ class Invoker:
         snapshot_budget: Optional[int] = None,
         isolation_mechanism: str = "gh",
         restore_pricer: Optional[Callable[[Container], float]] = None,
+        tracer=None,
     ) -> None:
         if cores < 1:
             raise PlatformError("an invoker needs at least one core")
@@ -294,6 +295,11 @@ class Invoker:
         #: Test/experiment override: a ``Container -> seconds`` pricer
         #: used instead of the mechanism model when provided.
         self.restore_pricer = restore_pricer
+        #: Flight recorder (a ``repro.faas.obs.TraceRecorder``) shared
+        #: cluster-wide, or ``None`` with tracing off — every
+        #: instrumentation site below guards on that, so the untraced
+        #: path allocates nothing and changes no scheduling.
+        self.tracer = tracer
         #: Held snapshots across all pools in demotion order — the
         #: invoker-wide LRU the snapshot budget discards from.
         self._snapshot_lru: Deque[Tuple[_ActionPool, Container]] = deque()
@@ -566,6 +572,9 @@ class Invoker:
         self.invocations_submitted += 1
         pool.arrivals += 1
         pool.arrival_times.append(arrival)
+        trace = invocation.trace
+        if trace is not None:
+            trace.arrive(arrival, self.invoker_id)
         # Quota enforcement comes first: a tenant over its admission rate
         # is refused outright — even when capacity is free — with the
         # distinct THROTTLED status (policy, not backpressure).
@@ -578,6 +587,8 @@ class Invoker:
                 f"{self.invoker_id}: tenant {invocation.caller!r} exceeded its "
                 f"admission quota",
             )
+            if trace is not None:
+                trace.throttle(arrival)
             self._touch_pool(pool)
             callback(invocation)
             return
@@ -609,6 +620,8 @@ class Invoker:
             victim, victim_callback, _victim_arrival = displaced
             self._shed(pool, victim, victim_callback)
         self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
+        if trace is not None:
+            trace.enqueue(arrival)
         pool.queue.push((invocation, callback, arrival))
         self._signal_autoscaler(pool)
         self._touch_pool(pool)
@@ -649,6 +662,8 @@ class Invoker:
             f"{self.invoker_id}: queue for {invocation.action!r} is full "
             f"({self.max_queue_per_action} waiting)",
         )
+        if invocation.trace is not None:
+            invocation.trace.reject(self.loop.now, invocation.error)
         callback(invocation)
 
     def _signal_autoscaler(self, pool: _ActionPool) -> None:
@@ -686,17 +701,27 @@ class Invoker:
         ):
             self.restore_dispatches += 1
             self.restore_dispatch_times.append(now)
+            dispatch_class = "restore"
         elif not (
             container.dynamic
             and container.requests_served == 0
             and container.ready_at > invocation.submitted_at
         ):
             self.warm_hits += 1
+            dispatch_class = "warm"
         else:
             self.cold_dispatch_times.append(now)
+            dispatch_class = "cold"
+        trace = invocation.trace
+        if trace is not None:
+            trace.dispatch(
+                now, dispatch_class, container.container_id, container.ready_at
+            )
 
         execution = container.execute(invocation, verify=self.verify_isolation)
         invocation.invoker_seconds = execution.invoker_seconds
+        if trace is not None:
+            trace.execute_seconds = execution.invoker_seconds
         completion_time = now + execution.invoker_seconds
         available_time = completion_time + execution.unavailable_seconds
 
@@ -793,12 +818,24 @@ class Invoker:
         """
         pool = self._require_pool(invocation.action)
         self.steals += 1
+        trace = invocation.trace
+        if trace is not None:
+            trace.steal(self.loop.now, self.invoker_id)
+        if self.tracer is not None:
+            self.tracer.audit(
+                self.loop.now,
+                "steal",
+                f"adopted {invocation.invocation_id} ({invocation.action})",
+                actor=self.invoker_id,
+            )
         if self.restorable_snapshots:
             self._promote_free_snapshot(pool)
         if pool.idle and self._cores_in_use < self.cores:
             self._dispatch(pool, invocation, callback, arrival)
             return
         self._maybe_cold_start(pool, waiting=len(pool.queue) + 1)
+        if trace is not None:
+            trace.enqueue(self.loop.now)
         pool.queue.push((invocation, callback, arrival))
         self._signal_autoscaler(pool)
         self._touch_pool(pool)
@@ -1085,17 +1122,40 @@ class Invoker:
         pool.containers.remove(container)
         if not self.restorable_snapshots:
             container.shutdown()
+            if self.tracer is not None:
+                self.tracer.audit(
+                    self.loop.now,
+                    "keep-alive",
+                    f"evict {container.container_id} ({pool.spec.name})",
+                    actor=self.invoker_id,
+                )
             return
         container.demote()
         pool.snapshots.append(container)
         self._snapshot_lru.append((pool, container))
         self.demotes += 1
+        if self.tracer is not None:
+            self.tracer.audit(
+                self.loop.now,
+                "keep-alive",
+                f"demote {container.container_id} ({pool.spec.name}) "
+                f"to held snapshot",
+                actor=self.invoker_id,
+            )
         if self.snapshot_budget is not None:
             while len(self._snapshot_lru) > self.snapshot_budget:
                 old_pool, old_container = self._snapshot_lru.popleft()
                 old_pool.snapshots.remove(old_container)
                 old_container.shutdown()
                 self.snapshot_discards += 1
+                if self.tracer is not None:
+                    self.tracer.audit(
+                        self.loop.now,
+                        "snapshot-budget",
+                        f"discard LRU snapshot {old_container.container_id} "
+                        f"({old_pool.spec.name})",
+                        actor=self.invoker_id,
+                    )
                 if old_pool is not pool:
                     self._touch_pool(old_pool)
 
@@ -1142,6 +1202,18 @@ class Invoker:
             self._cores_in_use += 1
             if restore_price is not None:
                 self.restore_core_seconds += restore_price
+                if self.tracer is not None:
+                    # Both span boundaries are known at begin time — the
+                    # priced duration is deterministic — so the recorder
+                    # never holds open spans.
+                    self.tracer.record_container_span(
+                        kind="restore",
+                        invoker=self.invoker_id,
+                        container_id=container.container_id,
+                        action=pool.spec.name,
+                        start=self.loop.now,
+                        end=self.loop.now + restore_price,
+                    )
 
                 def restored(
                     pool: _ActionPool = pool, container: Container = container
@@ -1164,6 +1236,15 @@ class Invoker:
             self._booting += 1
             init = container.initialize()
             self.boot_core_seconds += init.total_seconds
+            if self.tracer is not None:
+                self.tracer.record_container_span(
+                    kind="boot",
+                    invoker=self.invoker_id,
+                    container_id=container.container_id,
+                    action=pool.spec.name,
+                    start=self.loop.now,
+                    end=self.loop.now + init.total_seconds,
+                )
 
             def ready(pool: _ActionPool = pool, container: Container = container) -> None:
                 self._cores_in_use -= 1

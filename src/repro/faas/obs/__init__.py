@@ -1,0 +1,36 @@
+"""Flight recorder: lifecycle spans, decision audit log, exporters.
+
+The trace record schema lives in :mod:`repro.faas.obs.trace` (the single
+source of truth); :mod:`repro.faas.obs.export` serialises a recorder to
+Chrome trace-event JSON and :mod:`repro.faas.obs.decompose` attributes
+per-phase latency shares.
+"""
+
+from repro.faas.obs.decompose import latency_decompose, render_decomposition
+from repro.faas.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    write_chrome_trace,
+)
+from repro.faas.obs.trace import (
+    PHASES,
+    TRACING_MODES,
+    AuditEvent,
+    InvocationTrace,
+    Span,
+    TraceRecorder,
+)
+
+__all__ = [
+    "PHASES",
+    "TRACING_MODES",
+    "AuditEvent",
+    "InvocationTrace",
+    "Span",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "write_chrome_trace",
+    "latency_decompose",
+    "render_decomposition",
+]

@@ -1,0 +1,176 @@
+"""Chrome trace-event JSON exporter (Perfetto / chrome://tracing loadable).
+
+Maps the flight-recorder records (schema:
+:mod:`repro.faas.obs.trace`) onto the Trace Event Format:
+
+* each sampled invocation gets its **own thread track** (tid 1000+),
+  carrying its six lifecycle phases as strictly sequential ``B``/``E``
+  pairs — one tid per invocation guarantees exact pairing, proper
+  nesting, and per-track timestamp monotonicity by construction;
+* container boot/restore spans land on a **per-invoker track** (tid
+  10+) as ``X`` complete events — boots on one invoker may overlap, and
+  ``X`` events carry their own duration so no pairing discipline is
+  needed;
+* control-plane audit events are ``i`` instants on the acting track
+  (``"control-plane"`` → tid 1, or the acting invoker's track);
+* ``M`` metadata events name the process and every track.
+
+Timestamps are microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.faas.obs.trace import TraceRecorder
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "write_chrome_trace"]
+
+#: Phase layout order on an invocation's track: the boot/restore-blocked
+#: share of the wait precedes the residual queue wait (the container
+#: becomes ready, then the request may still wait for a core).
+_LAYOUT = ("inbound", "boot", "restore", "queue", "execute", "outbound")
+
+_CONTROL_PLANE_TRACK = "control-plane"
+_PID = 1
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+class _Tracks:
+    """First-seen-order tid allocation plus ``M`` metadata events."""
+
+    def __init__(self, events: List[dict]) -> None:
+        self._events = events
+        self._tids: Dict[str, int] = {}
+        self._next_invoker_tid = 10
+        self._next_invocation_tid = 1000
+        self._events.append({
+            "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+            "args": {"name": "repro-faas-sim"},
+        })
+
+    def tid(self, track: str) -> int:
+        if track not in self._tids:
+            if track == _CONTROL_PLANE_TRACK:
+                tid = 1
+            elif track.startswith("inv:"):
+                tid = self._next_invocation_tid
+                self._next_invocation_tid += 1
+            else:
+                tid = self._next_invoker_tid
+                self._next_invoker_tid += 1
+            self._tids[track] = tid
+            self._events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                "args": {"name": track},
+            })
+        return self._tids[track]
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> List[dict]:
+    """Flatten a recorder into a sorted Trace Event Format event list."""
+    events: List[dict] = []
+    tracks = _Tracks(events)
+    body: List[dict] = []
+
+    for span in recorder.container_spans:
+        tid = tracks.tid(span.track or "invoker")
+        body.append({
+            "name": span.name, "cat": "container", "ph": "X",
+            "pid": _PID, "tid": tid,
+            "ts": _us(span.start), "dur": _us(span.duration),
+            "args": {"detail": span.detail},
+        })
+
+    for audit in recorder.audit_log:
+        tid = tracks.tid(audit.actor or _CONTROL_PLANE_TRACK)
+        body.append({
+            "name": audit.category, "cat": "audit", "ph": "i", "s": "t",
+            "pid": _PID, "tid": tid,
+            "ts": _us(audit.at),
+            "args": {"detail": audit.detail},
+        })
+
+    for trace in recorder.invocations:
+        track = f"inv:{trace.invocation_id} {trace.tenant}/{trace.action}"
+        tid = tracks.tid(track)
+        common = {
+            "cat": "invocation", "pid": _PID, "tid": tid,
+            "args": {
+                "tenant": trace.tenant,
+                "action": trace.action,
+                "dispatch_class": trace.dispatch_class,
+                "policy": trace.policy,
+                "invoker": trace.invoker_id,
+                "status": trace.status,
+            },
+        }
+        phases = trace.phases()
+        if phases is not None:
+            cursor = trace.submitted_at
+            for name in _LAYOUT:
+                duration = phases[name]
+                if duration <= 0.0:
+                    continue
+                body.append({
+                    "name": name, "ph": "B", "ts": _us(cursor), **common,
+                })
+                cursor += duration
+                body.append({
+                    "name": name, "ph": "E", "ts": _us(cursor), **common,
+                })
+        elif trace.completed_at is not None:
+            # Throttled/rejected: one span covering the whole round trip.
+            body.append({
+                "name": trace.status or "aborted", "ph": "B",
+                "ts": _us(trace.submitted_at), **common,
+            })
+            body.append({
+                "name": trace.status or "aborted", "ph": "E",
+                "ts": _us(trace.completed_at), **common,
+            })
+        for at, name, detail in trace.events:
+            if name in ("steal", "throttle", "reject"):
+                body.append({
+                    "name": name, "cat": "invocation", "ph": "i", "s": "t",
+                    "pid": _PID, "tid": tid,
+                    "ts": _us(at), "args": {"detail": detail},
+                })
+
+    # Stable sort by timestamp; at equal timestamps an "E" must precede
+    # the next phase's "B" on the same track or the viewer's span stack
+    # would close the wrong span.
+    body.sort(key=lambda event: (event["ts"], event["ph"] != "E"))
+    events.extend(body)
+    return events
+
+
+def export_chrome_trace(recorder: TraceRecorder) -> dict:
+    """The full JSON-object form of the Trace Event Format."""
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorder_mode": recorder.mode,
+            "seed": recorder.seed,
+            "sample_period": recorder.sample_period,
+            **recorder.counts(),
+        },
+        "traceEvents": chrome_trace_events(recorder),
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str) -> int:
+    """Write the exported trace to ``path``; returns the event count.
+
+    Raises ``OSError`` if the path is unwritable — callers (the CLI)
+    surface that as an error exit rather than swallowing it.
+    """
+    exported = export_chrome_trace(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(exported, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return len(exported["traceEvents"])

@@ -54,6 +54,12 @@ class Invocation:
     #: Time spent waiting for a free, clean container.
     queue_seconds: float = 0.0
     error: str = ""
+    #: Flight-recorder context (an ``repro.faas.obs.InvocationTrace``)
+    #: when this invocation was sampled in; ``None`` otherwise — every
+    #: instrumentation site guards on that, so the untraced path does no
+    #: work.  Excluded from comparison/repr: tracing is observability,
+    #: not identity.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.invocation_id:

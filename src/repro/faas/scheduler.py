@@ -459,6 +459,10 @@ class Scheduler:
                 f"policy {self.policy.name!r} selected invalid invoker {index}"
             )
         self.routed_per_invoker[index] += 1
+        if invocation.trace is not None:
+            # Fields only — the scheduler holds no clock; the matching
+            # timestamp is the invoker-side arrival stamped next.
+            invocation.trace.route(self.policy.name, index)
         self.invokers[index].submit(invocation, callback)
         self._rebalance()
 

@@ -249,3 +249,112 @@ class TestPerfTraceCli:
             "metrics": {"benchmark": "perf-trace", "modes": {}},
         })
         assert merged == {"benchmark": "perf-trace", "modes": {}}
+
+    def test_merge_preserves_tracing_overhead_section(self, tmp_path):
+        import json
+
+        from repro.cli import _merge_perf_sections
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({
+            "benchmark": "perf-trace",
+            "modes": {"exact": {"invocations_per_second": 1.0}},
+            "tracing_overhead": {
+                "benchmark": "tracing-overhead", "modes": {"off": {}},
+            },
+        }))
+        # Regenerating only the metrics shape keeps tracing_overhead.
+        merged = _merge_perf_sections(str(path), {
+            "metrics": {"benchmark": "perf-trace", "modes": {}},
+        })
+        assert merged["tracing_overhead"]["benchmark"] == "tracing-overhead"
+        # Regenerating only tracing-overhead keeps the metrics section.
+        merged = _merge_perf_sections(str(path), {
+            "tracing-overhead": {
+                "benchmark": "tracing-overhead", "modes": {"sampled": {}},
+            },
+        })
+        assert merged["modes"] == {"exact": {"invocations_per_second": 1.0}}
+        assert merged["tracing_overhead"]["modes"] == {"sampled": {}}
+
+    def test_tracing_overhead_shape_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["perf-trace", "--shape", "tracing-overhead"])
+        assert args.shape == "tracing-overhead"
+        assert args.tracing_invocations == 150_000
+        assert args.trace_out is None
+        args = parser.parse_args([
+            "perf-trace", "--shape", "all", "--trace-out", "t.json",
+        ])
+        assert args.trace_out == "t.json"
+
+
+class TestTraceCli:
+    def test_trace_command_prints_decomposition(self, capsys):
+        assert main(["trace", "--invocations", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "warmth spectrum on" in out
+        assert "invocation traces kept" in out
+        # The decomposition table groups by tenant/dispatch-class with
+        # one phase-share column per lifecycle phase.
+        for token in ("*/*", "inbound", "queue", "boot", "restore",
+                      "execute", "outbound"):
+            assert token in out
+
+    def test_trace_command_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "trace", "--invocations", "2000", "--out", str(out_path),
+        ]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        assert document["otherData"]["recorder_mode"] == "sampled"
+
+    def test_trace_command_unwritable_output_errors(self, capsys, tmp_path):
+        missing_dir = tmp_path / "does-not-exist" / "trace.json"
+        assert main([
+            "trace", "--invocations", "500", "--out", str(missing_dir),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write trace output" in err
+
+    def test_latency_under_load_trace_out(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "load_trace.json"
+        assert main([
+            "latency-under-load", "--benchmark", "get-time", "--language", "p",
+            "--invokers", "2", "--actions", "2",
+            "--load-factors", "0.4", "--duration", "1.0",
+            "--tracing", "full", "--trace-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace of the last point" in out
+        document = json.loads(out_path.read_text())
+        assert document["otherData"]["recorder_mode"] == "full"
+
+    def test_trace_out_requires_tracing(self, capsys):
+        assert main([
+            "latency-under-load", "--trace-out", "x.json",
+        ]) == 2
+        assert "--trace-out requires --tracing" in capsys.readouterr().err
+        assert main([
+            "slo-control", "--trace-out", "x.json",
+        ]) == 2
+        assert "--trace-out requires --tracing" in capsys.readouterr().err
+
+    def test_slo_control_trace_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["slo-control"])
+        assert args.tracing == "off"
+        assert args.trace_out is None
+        args = parser.parse_args([
+            "slo-control", "--tracing", "sampled", "--trace-out", "t.json",
+        ])
+        assert args.tracing == "sampled"
+        assert args.trace_out == "t.json"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["slo-control", "--tracing", "bogus"])
