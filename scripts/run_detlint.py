@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Run the determinism lint from a fresh checkout, no install required.
+
+Usage::
+
+    python scripts/run_detlint.py [PATHS...] [--format human|json]
+                                  [--show-suppressed]
+
+Thin front-end over ``repro.devtools.detlint``: it puts ``src/`` on
+``sys.path`` (so CI and contributors need no editable install) and execs
+the shared linter ``main``.  Exit codes: 0 = clean, 1 = unsuppressed
+findings, 2 = scan error.
+"""
+
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.devtools.detlint.frontend import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@ two related-work comparison points ``cold`` and ``criu``.
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from types import MappingProxyType
+from typing import Dict, Mapping, Type
 
 from repro.baselines.coldstart import ColdStartIsolation
 from repro.baselines.criu import CriuIsolation
@@ -19,7 +20,9 @@ from repro.errors import IsolationError
 from repro.runtime.profiles import FunctionProfile
 
 #: All available configurations, keyed by the name used in the paper's plots.
-MECHANISMS: Dict[str, Type[IsolationMechanism]] = {
+#: Read-only: a registry mutated at runtime would be exactly the mutable
+#: module-level state the determinism lint (D005) forbids.
+MECHANISMS: Mapping[str, Type[IsolationMechanism]] = MappingProxyType({
     "base": WarmReuseBaseline,
     "gh": GroundhogMechanism,
     "gh-nop": GroundhogNopMechanism,
@@ -27,7 +30,7 @@ MECHANISMS: Dict[str, Type[IsolationMechanism]] = {
     "faasm": FaasmIsolation,
     "cold": ColdStartIsolation,
     "criu": CriuIsolation,
-}
+})
 
 
 def mechanism_class(name: str) -> Type[IsolationMechanism]:

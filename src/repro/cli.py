@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 from typing import List, Optional
 
@@ -53,6 +52,12 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.tables import render_table
 from repro.baselines.registry import create_mechanism
+from repro.devtools.detlint.frontend import (
+    EXIT_CODE_HELP,
+    add_lint_arguments,
+    run_lint,
+)
+from repro.sim.rng import fallback_stream
 from repro.config import (
     ADMISSION_POLICIES,
     ISOLATION_MECHANISMS,
@@ -95,7 +100,7 @@ def cmd_demo_leak(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     rows = []
     for config in ("base", "gh"):
-        mechanism = create_mechanism(config, spec.profile, rng=random.Random(1))
+        mechanism = create_mechanism(config, spec.profile, rng=fallback_stream("cli.demo-leak"))
         mechanism.initialize()
         mechanism.invoke(b"alice-secret-document", "r1", caller="alice")
         second = mechanism.invoke(b"bob-request", "r2", caller="bob")
@@ -753,6 +758,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism lint over the given paths (default: src/repro scripts)."""
+    return run_lint(args.paths, args.format, args.show_suppressed)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1067,6 +1077,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    "here (load in https://ui.perfetto.dev "
                                    "or chrome://tracing)")
     trace_parser.set_defaults(func=cmd_trace)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="determinism lint: scan sim-domain code for wall-clock "
+             "reads, ambient randomness, escaping set order, "
+             "id()-ordering, mutable module state and ambient inputs",
+        epilog=EXIT_CODE_HELP,
+    )
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

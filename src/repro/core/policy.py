@@ -33,6 +33,7 @@ from repro.runtime import build_runtime
 from repro.runtime.base import FunctionRuntime, InvocationResult
 from repro.runtime.profiles import FunctionProfile
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.rng import fallback_stream
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ class IsolationMechanism(abc.ABC):
         self.profile = profile
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
-        self.rng = rng if rng is not None else random.Random(7)
+        self.rng = rng if rng is not None else fallback_stream("core.policy")
         self.dummy_payload = dummy_payload
         self.process: Optional[SimProcess] = None
         self.runtime: Optional[FunctionRuntime] = None

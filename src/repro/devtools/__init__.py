@@ -1,0 +1,9 @@
+"""Developer tooling for the reproduction itself.
+
+Nothing under this package runs inside a simulation.  It holds the
+static-analysis and maintenance tools that keep the *simulator* honest —
+most importantly :mod:`repro.devtools.detlint`, the determinism linter
+that rejects impure patterns (wall-clock reads, ambient randomness,
+unordered set iteration) in sim-domain code at review time instead of
+waiting for a twin-run test to catch the divergence after it ships.
+"""

@@ -1,0 +1,44 @@
+"""Determinism lint (detlint): an AST purity analyzer for the simulator.
+
+Public surface:
+
+* :func:`~repro.devtools.detlint.engine.lint_paths` /
+  :func:`~repro.devtools.detlint.engine.lint_source` — run the rules,
+* :class:`~repro.devtools.detlint.engine.Finding` /
+  :class:`~repro.devtools.detlint.engine.LintReport` — results,
+* :data:`~repro.devtools.detlint.rules.RULES` — the rule catalogue
+  (see that module's docstring for the full reference),
+* :class:`~repro.devtools.detlint.policy.PathPolicy` — per-rule path
+  waivers,
+* :func:`~repro.devtools.detlint.frontend.main` — the CLI.
+
+Run it with ``python -m repro.cli lint`` or ``python -m
+repro.devtools.detlint``; CI treats a nonzero exit as a blocking failure.
+"""
+
+from repro.devtools.detlint.engine import (
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.detlint.frontend import main, run_lint
+from repro.devtools.detlint.policy import DEFAULT_POLICY, PathPolicy, PolicyEntry
+from repro.devtools.detlint.report import render_human, render_json
+from repro.devtools.detlint.rules import RULES, Rule
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "Finding",
+    "LintReport",
+    "PathPolicy",
+    "PolicyEntry",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

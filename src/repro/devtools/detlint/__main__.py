@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.detlint`` — run the determinism linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.detlint.frontend import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""The determinism-lint engine: walk files, run rules, apply suppressions.
+
+The engine is pure: it reads sources, never imports or executes them, and
+its output is a deterministic function of the file contents — findings are
+sorted by ``(path, line, col, rule)`` and directories are walked in sorted
+order, so two runs over the same tree produce byte-identical reports.
+
+Inline suppressions use the form::
+
+    risky_thing()  # detlint: ignore[D003] frozen before the loop starts
+
+The bracket lists one or more rule ids (comma-separated); the trailing
+free text is the mandatory justification.  A suppression with no reason,
+an unknown rule id, or a ``detlint:`` comment that does not parse is
+itself reported as a ``D000`` diagnostic — silent or sloppy suppressions
+are exactly the review escape hatch this tool exists to close.  Comments
+are found with :mod:`tokenize`, so a ``# detlint:`` inside a docstring or
+string literal is inert.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.detlint.policy import PathPolicy
+from repro.devtools.detlint.rules import SUPPRESSIBLE_RULE_IDS
+from repro.devtools.detlint.visitors import ALL_VISITORS, NameResolver
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or linter diagnostic) at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        """Findings that make the run fail."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings silenced by an inline justification."""
+        return [f for f in self.findings if f.suppressed]
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*detlint:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_DETLINT_COMMENT_RE = re.compile(r"#\s*detlint\b")
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, _Suppression], List[Finding]]:
+    """Extract per-line suppressions and any D000 diagnostics they raise."""
+    suppressions: Dict[int, _Suppression] = {}
+    diagnostics: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions, diagnostics  # the parse error is reported once
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if not _DETLINT_COMMENT_RE.search(tok.string):
+            continue
+        line, col = tok.start
+        match = _SUPPRESSION_RE.search(tok.string)
+        if match is None:
+            diagnostics.append(Finding(
+                "D000", path, line, col,
+                "malformed detlint comment; expected "
+                "'# detlint: ignore[Dnnn] <reason>'",
+            ))
+            continue
+        rule_ids = tuple(
+            rule_id.strip()
+            for rule_id in match.group("rules").split(",")
+            if rule_id.strip()
+        )
+        reason = match.group("reason").strip()
+        bad = [r for r in rule_ids if r not in SUPPRESSIBLE_RULE_IDS]
+        if not rule_ids or bad:
+            named = ", ".join(bad) if bad else "<none>"
+            diagnostics.append(Finding(
+                "D000", path, line, col,
+                f"suppression names unknown or unsuppressible rule ids: "
+                f"{named}",
+            ))
+            continue
+        if not reason:
+            diagnostics.append(Finding(
+                "D000", path, line, col,
+                "suppression without a reason; the justification is "
+                "mandatory ('# detlint: ignore[Dnnn] <reason>')",
+            ))
+            continue
+        suppressions[line] = _Suppression(line, rule_ids, reason)
+    return suppressions, diagnostics
+
+
+def lint_source(source: str, path: str, policy: PathPolicy) -> List[Finding]:
+    """Lint one file's ``source``; ``path`` is used for policy and output."""
+    posix_path = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            "D000", posix_path, exc.lineno or 0, exc.offset or 0,
+            f"could not parse file: {exc.msg}",
+        )]
+    waivers = policy.waivers_for(posix_path)
+    resolver = NameResolver(tree)
+    suppressions, findings = _parse_suppressions(source, posix_path)
+    for visitor_cls in ALL_VISITORS:
+        if visitor_cls.rule in waivers:
+            continue
+        visitor = visitor_cls(resolver)
+        visitor.visit(tree)
+        for raw in visitor.findings:
+            suppression = suppressions.get(raw.line)
+            is_suppressed = (
+                suppression is not None and raw.rule in suppression.rules
+            )
+            findings.append(Finding(
+                raw.rule, posix_path, raw.line, raw.col, raw.message,
+                suppressed=is_suppressed,
+                suppression_reason=(
+                    suppression.reason if is_suppressed and suppression else None
+                ),
+            ))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def _display_path(path: Path) -> str:
+    """Path relative to the working directory when possible, else absolute."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def expand_paths(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    unique: Dict[str, Path] = {}
+    for path in files:
+        unique[os.path.abspath(str(path))] = path
+    return [unique[key] for key in sorted(unique)]
+
+
+def lint_paths(
+    paths: Sequence[str], policy: Optional[PathPolicy] = None
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` and return the merged report."""
+    active_policy = policy if policy is not None else PathPolicy()
+    report = LintReport()
+    for path in expand_paths(paths):
+        source = path.read_text(encoding="utf-8")
+        report.findings.extend(
+            lint_source(source, _display_path(path), active_policy)
+        )
+        report.files_scanned += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

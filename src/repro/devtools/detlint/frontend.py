@@ -1,0 +1,82 @@
+"""Argument handling shared by ``python -m repro.devtools.detlint``,
+``python -m repro.cli lint`` and ``scripts/run_detlint.py``.
+
+Exit codes (documented in ``--help`` and stable for CI):
+
+* ``0`` — scan completed, zero unsuppressed findings,
+* ``1`` — scan completed, at least one unsuppressed finding,
+* ``2`` — the scan itself failed (missing path, unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence, Tuple
+
+from repro.devtools.detlint.engine import LintReport, lint_paths
+from repro.devtools.detlint.policy import PathPolicy
+from repro.devtools.detlint.report import render_human, render_json
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: What one lint run covers when no paths are given: the whole sim-domain
+#: tree plus the repo scripts (which must pass under the harness policy).
+DEFAULT_LINT_PATHS: Tuple[str, ...] = ("src/repro", "scripts")
+
+EXIT_CODE_HELP = (
+    "exit codes: 0 = clean, 1 = unsuppressed findings, "
+    "2 = scan error (missing path / unreadable file)"
+)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_LINT_PATHS),
+        help="files or directories to scan "
+             f"(default: {' '.join(DEFAULT_LINT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings and their justifications "
+             "(JSON output always carries them)",
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    output_format: str = "human",
+    show_suppressed: bool = False,
+) -> int:
+    """Run the linter and print the report; returns the process exit code."""
+    try:
+        report: LintReport = lint_paths(paths, PathPolicy())
+    except (FileNotFoundError, OSError) as exc:
+        print(f"detlint: error: {exc}")
+        return EXIT_ERROR
+    if output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report, show_suppressed=show_suppressed))
+    return EXIT_FINDINGS if report.unsuppressed else EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.devtools.detlint``."""
+    parser = argparse.ArgumentParser(
+        prog="detlint",
+        description="Determinism lint for the simulator: reject wall-clock "
+                    "reads, ambient randomness, escaping set order, "
+                    "id()-ordering, mutable module state and ambient "
+                    "inputs in sim-domain code.",
+        epilog=EXIT_CODE_HELP,
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args.paths, args.format, args.show_suppressed)

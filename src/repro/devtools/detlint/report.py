@@ -1,0 +1,99 @@
+"""Rendering for lint reports: human-readable lines and a JSON document.
+
+The JSON schema (``version`` 1)::
+
+    {
+      "version": 1,
+      "files_scanned": 104,
+      "counts": {
+        "total": 7,
+        "suppressed": 5,
+        "unsuppressed": 2,
+        "by_rule": {"D001": 3, "D003": 4}
+      },
+      "findings": [
+        {
+          "rule": "D001",
+          "path": "src/repro/faas/invoker.py",
+          "line": 42,
+          "col": 8,
+          "message": "...",
+          "suppressed": false,
+          "suppression_reason": null
+        }
+      ]
+    }
+
+``findings`` always carries suppressed entries too (machine consumers can
+audit the justifications); the exit status is driven solely by
+``counts.unsuppressed``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.devtools.detlint.engine import Finding, LintReport
+from repro.devtools.detlint.rules import RULES
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(report: LintReport, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: RULE message`` line per finding, plus a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}{marker}"
+        )
+        if finding.suppressed and finding.suppression_reason:
+            lines.append(f"    reason: {finding.suppression_reason}")
+    unsuppressed = len(report.unsuppressed)
+    suppressed = len(report.suppressed)
+    lines.append(
+        f"detlint: {report.files_scanned} files scanned, "
+        f"{unsuppressed} finding(s), {suppressed} suppressed"
+    )
+    if unsuppressed:
+        rules_hit = sorted({f.rule for f in report.unsuppressed})
+        for rule_id in rules_hit:
+            rule = RULES.get(rule_id)
+            if rule is not None:
+                lines.append(f"  {rule_id}: {rule.title} — {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+        "suppression_reason": finding.suppression_reason,
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """The versioned JSON document described in the module docstring."""
+    by_rule: Dict[str, int] = {}
+    for finding in report.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": report.files_scanned,
+        "counts": {
+            "total": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "unsuppressed": len(report.unsuppressed),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [_finding_to_dict(f) for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -1,0 +1,667 @@
+"""Per-rule AST visitors for the determinism linter.
+
+Each rule is a small, independent :class:`ast.NodeVisitor`; they share one
+:class:`NameResolver` (built from the file's imports) so ``from time import
+perf_counter as pc`` and ``import datetime as dt`` resolve to the same
+canonical dotted names the rule tables are written against.
+
+The set-order rule (D003) carries a deliberately *syntactic* type
+inference: an expression is known set-typed when it is a set display /
+comprehension, a ``set()`` / ``frozenset()`` call, a binary set operation,
+a local name or ``self`` attribute assigned (or annotated as) one of
+those, or a subscript of a known ``Dict[..., Set[...]]`` /
+``defaultdict(set)``.  That is far short of real type checking, but it is
+exactly the level at which the historical bug class lives — the per-action
+warm/snapshot sets one unsorted loop away from a nondeterministic
+schedule — and it never needs to execute the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Type, Union
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A rule violation before suppression/policy bookkeeping."""
+
+    rule: str
+    line: int
+    col: int
+    message: str
+
+
+class NameResolver:
+    """Resolve names/attribute chains to canonical dotted import paths."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    self._aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of ``node``, or ``None`` for non-names."""
+        if isinstance(node, ast.Name):
+            return self._aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Base: a visitor that accumulates findings for one rule."""
+
+    rule = "D000"
+
+    def __init__(self, resolver: NameResolver) -> None:
+        self.resolver = resolver
+        self.findings: List[RawFinding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(RawFinding(self.rule, line, col, message))
+
+
+# ----------------------------------------------------------------------
+# D001 — wall-clock reads
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS: FrozenSet[str] = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class WallClockVisitor(_RuleVisitor):
+    """D001: no wall-clock reads in sim-domain code."""
+
+    rule = "D001"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.resolve(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read {name}() in sim-domain code; simulated "
+                "components must read the VirtualClock",
+            )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D002 — ambient randomness
+# ----------------------------------------------------------------------
+
+_RANDOM_DRAWS: FrozenSet[str] = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "seed",
+    "getrandbits", "randbytes", "binomialvariate",
+})
+
+
+class GlobalRandomVisitor(_RuleVisitor):
+    """D002: randomness must flow through an injected seeded stream."""
+
+    rule = "D002"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.resolve(node.func)
+        if name == "random.Random" and not node.args and not node.keywords:
+            self.report(
+                node,
+                "unseeded random.Random() seeds from the OS entropy pool; "
+                "inject a seeded random.Random or a named RngStreams stream",
+            )
+        elif name is not None and name.startswith("random."):
+            tail = name.split(".", 1)[1]
+            if tail in _RANDOM_DRAWS:
+                self.report(
+                    node,
+                    f"module-level {name}() draws from the shared ambient "
+                    "generator; route randomness through an injected "
+                    "random.Random / RngStreams stream",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D003 — unordered set iteration escaping
+# ----------------------------------------------------------------------
+
+#: Reductions whose result does not depend on element order; their direct
+#: arguments (including comprehensions) are never flagged.
+_ORDER_INSENSITIVE_CALLS: FrozenSet[str] = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+})
+
+#: Conversions through which arbitrary set order escapes into a sequence.
+_ORDER_ESCAPING_CALLS: FrozenSet[str] = frozenset({
+    "list", "tuple", "iter", "enumerate",
+})
+
+_SET_ANNOTATION_NAMES: FrozenSet[str] = frozenset({
+    "set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet",
+})
+
+_DICT_ANNOTATION_NAMES: FrozenSet[str] = frozenset({
+    "dict", "Dict", "defaultdict", "DefaultDict", "Mapping",
+    "MutableMapping", "OrderedDict",
+})
+
+_SET_METHODS_RETURNING_SETS: FrozenSet[str] = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+_SET_BINOPS: Tuple[Type[ast.AST], ...] = (
+    ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor,
+)
+
+_AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _annotation_kind(node: Optional[ast.expr]) -> Optional[str]:
+    """Classify an annotation as ``"set"``, ``"dictset"``, or unknown."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        tail = node.attr if isinstance(node, ast.Attribute) else node.id
+        if tail in _SET_ANNOTATION_NAMES:
+            return "set"
+        return None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, (ast.Name, ast.Attribute)):
+            tail = base.attr if isinstance(base, ast.Attribute) else base.id
+            if tail in _SET_ANNOTATION_NAMES:
+                return "set"
+            if tail in _DICT_ANNOTATION_NAMES:
+                sl = node.slice
+                if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+                    if _annotation_kind(sl.elts[1]) == "set":
+                        return "dictset"
+            if tail == "Optional":
+                return _annotation_kind(node.slice)
+    return None
+
+
+class _ClassSetAttrs:
+    """Set-typed ``self.*`` attributes discovered by pre-scanning a class."""
+
+    def __init__(self) -> None:
+        self.set_attrs: Set[str] = set()
+        self.dictset_attrs: Set[str] = set()
+
+
+class SetOrderVisitor(_RuleVisitor):
+    """D003: set iteration order must not escape without ``sorted``."""
+
+    rule = "D003"
+
+    def __init__(self, resolver: NameResolver) -> None:
+        super().__init__(resolver)
+        #: name -> "set" | "dictset" per lexical scope (innermost last).
+        self._scopes: List[Dict[str, str]] = [{}]
+        self._classes: List[_ClassSetAttrs] = []
+        #: ids of expression nodes sitting in an order-insensitive context.
+        self._exempt: Set[int] = set()
+
+    # -- scope plumbing -------------------------------------------------
+
+    def _lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _bind(self, name: str, kind: Optional[str]) -> None:
+        scope = self._scopes[-1]
+        if kind is None:
+            scope.pop(name, None)
+        else:
+            scope[name] = kind
+
+    def _clear_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_target(elt)
+
+    # -- set-typedness inference ---------------------------------------
+
+    def _value_kind(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(node, ast.Call):
+            name = self.resolver.resolve(node.func)
+            if name in ("set", "frozenset"):
+                return "set"
+            if name == "collections.defaultdict":
+                if node.args and self.resolver.resolve(node.args[0]) == "set":
+                    return "dictset"
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS_RETURNING_SETS:
+                    if self._is_set(node.func.value):
+                        return "set"
+            return None
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if self._classes:
+                    if node.attr in self._classes[-1].set_attrs:
+                        return "set"
+                    if node.attr in self._classes[-1].dictset_attrs:
+                        return "dictset"
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            if self._is_set(node.left) or self._is_set(node.right):
+                return "set"
+            return None
+        if isinstance(node, ast.Subscript):
+            if self._value_kind(node.value) == "dictset":
+                return "set"
+            return None
+        if isinstance(node, ast.IfExp):
+            if self._is_set(node.body) or self._is_set(node.orelse):
+                return "set"
+        return None
+
+    def _is_set(self, node: ast.expr) -> bool:
+        return self._value_kind(node) == "set"
+
+    # -- class pre-scan -------------------------------------------------
+
+    @staticmethod
+    def _self_attr_name(target: ast.expr) -> Optional[str]:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def _prescan_class(self, node: ast.ClassDef) -> _ClassSetAttrs:
+        attrs = _ClassSetAttrs()
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AnnAssign):
+                name = self._self_attr_name(stmt.target)
+                if name is None and isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id  # class-level annotated attribute
+                if name is not None:
+                    kind = _annotation_kind(stmt.annotation)
+                    if kind == "set":
+                        attrs.set_attrs.add(name)
+                    elif kind == "dictset":
+                        attrs.dictset_attrs.add(name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    name = self._self_attr_name(target)
+                    if name is None:
+                        continue
+                    if isinstance(stmt.value, (ast.Set, ast.SetComp)):
+                        attrs.set_attrs.add(name)
+                    elif isinstance(stmt.value, ast.Call):
+                        fname = self.resolver.resolve(stmt.value.func)
+                        if fname in ("set", "frozenset"):
+                            attrs.set_attrs.add(name)
+                        elif (
+                            fname == "collections.defaultdict"
+                            and stmt.value.args
+                            and self.resolver.resolve(stmt.value.args[0]) == "set"
+                        ):
+                            attrs.dictset_attrs.add(name)
+        return attrs
+
+    # -- statement visitors --------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._classes.append(self._prescan_class(node))
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+        self._classes.pop()
+
+    def _visit_function(self, node: _AnyFunc) -> None:
+        self._scopes.append({})
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            kind = _annotation_kind(arg.annotation)
+            if kind is not None:
+                self._bind(arg.arg, kind)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        kind = self._value_kind(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, kind)
+            else:
+                self._clear_target(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            kind = _annotation_kind(node.annotation)
+            if kind is None and node.value is not None:
+                kind = self._value_kind(node.value)
+            self._bind(node.target.id, kind)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set(node.iter):
+            self.report(
+                node.iter,
+                "iteration over a set lets its arbitrary element order "
+                "escape; iterate sorted(...) instead",
+            )
+        self._clear_target(node.target)
+        self.generic_visit(node)
+
+    # -- expression visitors -------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.resolve(node.func)
+        if name in _ORDER_INSENSITIVE_CALLS:
+            for arg in node.args:
+                self._exempt.add(id(arg))
+        elif name in _ORDER_ESCAPING_CALLS and node.args:
+            if id(node) not in self._exempt and self._is_set(node.args[0]):
+                self.report(
+                    node,
+                    f"set order escapes through {name}(...); wrap the set "
+                    "in sorted(...)",
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and self._is_set(node.args[0])
+        ):
+            self.report(
+                node,
+                "set order escapes through str.join(...); wrap the set in "
+                "sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def _comprehension_generators(
+        self, node: Union[ast.ListComp, ast.DictComp, ast.GeneratorExp]
+    ) -> None:
+        if id(node) not in self._exempt:
+            for gen in node.generators:
+                if self._is_set(gen.iter):
+                    self.report(
+                        gen.iter,
+                        "comprehension over a set lets its arbitrary "
+                        "element order escape; iterate sorted(...) instead",
+                    )
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._comprehension_generators(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._comprehension_generators(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._comprehension_generators(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # A set built from a set stays order-free: nothing escapes.
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_Set(self, node: ast.Set) -> None:
+        for elt in node.elts:
+            if isinstance(elt, ast.Starred):
+                self._exempt.add(id(elt))
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        if id(node) not in self._exempt and self._is_set(node.value):
+            self.report(
+                node,
+                "set order escapes through * unpacking; wrap the set in "
+                "sorted(...)",
+            )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D004 — id()-based ordering
+# ----------------------------------------------------------------------
+
+_SORTING_CALLS: FrozenSet[str] = frozenset({
+    "sorted", "min", "max", "heapq.nsmallest", "heapq.nlargest",
+})
+
+_ORDERING_OPS: Tuple[Type[ast.AST], ...] = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+class IdOrderVisitor(_RuleVisitor):
+    """D004: no id()-based sort keys or ordering tie-breaks."""
+
+    rule = "D004"
+
+    def _contains_id(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and self.resolver.resolve(node) == "id":
+            return True
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                if self.resolver.resolve(child.func) == "id":
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.resolve(node.func)
+        is_sort = name in _SORTING_CALLS or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        )
+        if is_sort:
+            for kw in node.keywords:
+                if kw.arg == "key" and self._contains_id(kw.value):
+                    self.report(
+                        kw.value,
+                        "id()-based sort key: object addresses vary run to "
+                        "run; use a stable field instead",
+                    )
+        elif name == "heapq.heappush" and len(node.args) >= 2:
+            if self._contains_id(node.args[1]):
+                self.report(
+                    node.args[1],
+                    "id() inside a heap entry acts as an unstable "
+                    "tie-break; use a monotonic sequence number instead",
+                )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+            sides = [node.left] + list(node.comparators)
+            if any(self._contains_id(side) for side in sides):
+                self.report(
+                    node,
+                    "ordering comparison on id(): object addresses vary "
+                    "run to run; compare a stable field instead",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D005 — mutable module-level state / mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_FACTORIES: FrozenSet[str] = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.deque", "collections.defaultdict", "collections.Counter",
+    "collections.OrderedDict", "collections.ChainMap",
+    "itertools.count", "itertools.cycle", "threading.local",
+})
+
+_MUTABLE_DISPLAYS: Tuple[Type[ast.AST], ...] = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+
+class MutableStateVisitor(_RuleVisitor):
+    """D005: no mutable module-level state, no mutable default args."""
+
+    rule = "D005"
+
+    def _is_mutable_value(self, node: ast.expr) -> bool:
+        if isinstance(node, _MUTABLE_DISPLAYS):
+            return True
+        if isinstance(node, ast.Call):
+            return self.resolver.resolve(node.func) in _MUTABLE_FACTORIES
+        return False
+
+    @staticmethod
+    def _targets(stmt: Union[ast.Assign, ast.AnnAssign]) -> List[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            return list(stmt.targets)
+        return [stmt.target]
+
+    def _check_module_statements(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                # Dunder metadata (__all__ and friends) is write-once by
+                # convention, not simulation state.
+                if all(
+                    isinstance(t, ast.Name) and t.id.startswith("__")
+                    for t in self._targets(stmt)
+                ):
+                    continue
+                value = stmt.value
+                if value is not None and self._is_mutable_value(value):
+                    self.report(
+                        stmt,
+                        "mutable module-level state is shared across every "
+                        "simulation in the process; use a tuple, "
+                        "types.MappingProxyType, or simulation-owned "
+                        "instance state",
+                    )
+            elif isinstance(stmt, ast.If):
+                self._check_module_statements(stmt.body)
+                self._check_module_statements(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                self._check_module_statements(stmt.body)
+                self._check_module_statements(stmt.orelse)
+                self._check_module_statements(stmt.finalbody)
+                for handler in stmt.handlers:
+                    self._check_module_statements(handler.body)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_module_statements(node.body)
+        self.generic_visit(node)
+
+    def _check_defaults(self, args: ast.arguments) -> None:
+        defaults: List[Optional[ast.expr]] = list(args.defaults)
+        defaults.extend(args.kw_defaults)
+        for default in defaults:
+            if default is not None and self._is_mutable_value(default):
+                self.report(
+                    default,
+                    "mutable default argument: one shared instance "
+                    "accumulates state across calls; default to None and "
+                    "construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# D006 — ambient inputs outside the config/CLI boundary
+# ----------------------------------------------------------------------
+
+_AMBIENT_CALLS: FrozenSet[str] = frozenset({
+    "os.getenv", "os.putenv", "os.urandom", "os.getrandom",
+})
+
+_AMBIENT_PREFIXES: Tuple[str, ...] = ("uuid.", "secrets.")
+
+
+class AmbientInputVisitor(_RuleVisitor):
+    """D006: os.environ/os.urandom/uuid/secrets reads are boundary-only."""
+
+    rule = "D006"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.resolve(node.func)
+        if name is not None:
+            if name in _AMBIENT_CALLS or name.startswith(_AMBIENT_PREFIXES):
+                self.report(
+                    node,
+                    f"ambient input {name}() outside the config/CLI "
+                    "boundary; thread the value through SimulationConfig",
+                )
+        self.generic_visit(node)
+
+    def _check_environ(self, node: ast.expr) -> None:
+        if self.resolver.resolve(node) == "os.environ":
+            self.report(
+                node,
+                "os.environ read outside the config/CLI boundary; thread "
+                "the value through SimulationConfig",
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.resolver.resolve(node) == "os.environ":
+            self._check_environ(node)
+            return  # the nested `os` Name cannot independently match
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self._check_environ(node)
+
+
+#: Constructors for every rule's visitor, in rule-id order.
+ALL_VISITORS: Tuple[Type[_RuleVisitor], ...] = (
+    WallClockVisitor,
+    GlobalRandomVisitor,
+    SetOrderVisitor,
+    IdOrderVisitor,
+    MutableStateVisitor,
+    AmbientInputVisitor,
+)

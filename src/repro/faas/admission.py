@@ -37,6 +37,7 @@ and scale identically.
 from __future__ import annotations
 
 from collections import deque
+from types import MappingProxyType
 from typing import (
     Callable,
     Deque,
@@ -45,6 +46,7 @@ from typing import (
     Mapping,
     Optional,
     Tuple,
+    Type,
     TYPE_CHECKING,
 )
 
@@ -310,10 +312,10 @@ class WeightedFairQueue(AdmissionQueue):
         return self._length
 
 
-_QUEUE_CLASSES = {
+_QUEUE_CLASSES: Mapping[str, Type[AdmissionQueue]] = MappingProxyType({
     FifoQueue.name: FifoQueue,
     WeightedFairQueue.name: WeightedFairQueue,
-}
+})
 
 # Unconditional (not an assert): must hold even under `python -O`, so a
 # policy added to config.ADMISSION_POLICIES without a class fails at import

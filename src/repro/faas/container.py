@@ -23,8 +23,9 @@ from repro.faas.proxy import ActionLoopProxy
 from repro.faas.request import Invocation
 from repro.kernel.kernel import SimKernel
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.rng import fallback_stream
 
-_container_counter = itertools.count(1)
+_container_counter = itertools.count(1)  # detlint: ignore[D005] unique-id mint; ids are labels, never ordering inputs
 
 
 class ContainerState(enum.Enum):
@@ -83,7 +84,7 @@ class Container:
         self.container_id = f"{spec.name}-c{next(_container_counter):04d}"
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
-        self.rng = rng if rng is not None else random.Random(11)
+        self.rng = rng if rng is not None else fallback_stream("faas.container")
         self.proxy = ActionLoopProxy(self.cost_model)
         self.mechanism: IsolationMechanism = create_mechanism(
             spec.mechanism,

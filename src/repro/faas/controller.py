@@ -16,6 +16,7 @@ from typing import Callable, Optional, Protocol
 
 from repro.faas.request import Invocation
 from repro.sim.events import EventLoop
+from repro.sim.rng import fallback_stream
 
 CompletionCallback = Callable[[Invocation], None]
 
@@ -49,7 +50,7 @@ class Controller:
         self.invoker = invoker
         self.platform_overhead_seconds = platform_overhead_seconds
         self.platform_jitter_seconds = platform_jitter_seconds
-        self.rng = rng if rng is not None else random.Random(31)
+        self.rng = rng if rng is not None else fallback_stream("faas.controller")
         self.requests_routed = 0
 
     def _overhead_sample(self) -> float:

@@ -84,6 +84,7 @@ from repro.faas.restorecost import restore_seconds_for
 from repro.kernel.kernel import SimKernel
 from repro.sim.events import EventLoop, RecurringTimer
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.rng import fallback_stream
 
 CompletionCallback = Callable[[Invocation], None]
 
@@ -272,7 +273,7 @@ class Invoker:
         self.cores = cores
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.kernel = kernel if kernel is not None else SimKernel(self.cost_model)
-        self.rng = rng if rng is not None else random.Random(23)
+        self.rng = rng if rng is not None else fallback_stream("faas.invoker")
         self.verify_isolation = verify_isolation
         self.invoker_id = invoker_id
         self.max_queue_per_action = max_queue_per_action

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-_invocation_counter = itertools.count(1)
+_invocation_counter = itertools.count(1)  # detlint: ignore[D005] unique-id mint; ids are labels, never ordering inputs
 
 
 class InvocationStatus(enum.Enum):

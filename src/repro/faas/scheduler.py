@@ -59,7 +59,8 @@ from __future__ import annotations
 
 import zlib
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.config import SCHEDULER_POLICIES
 from repro.errors import PlatformError
@@ -339,12 +340,12 @@ class WarmAwarePolicy(SchedulingPolicy):
         return min(range(len(snapshots)), key=score)
 
 
-_POLICY_CLASSES = {
+_POLICY_CLASSES: Mapping[str, Type[SchedulingPolicy]] = MappingProxyType({
     RoundRobinPolicy.name: RoundRobinPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     HashAffinityPolicy.name: HashAffinityPolicy,
     WarmAwarePolicy.name: WarmAwarePolicy,
-}
+})
 
 # Unconditional (not an assert): must hold even under `python -O`, so a
 # policy added to config.SCHEDULER_POLICIES without a class fails at import

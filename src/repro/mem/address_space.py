@@ -427,7 +427,7 @@ class AddressSpace:
         if count <= 0:
             return
         end_page = start_page + count
-        cold = [p for p in self._tlb_cold if start_page <= p < end_page]
+        cold = sorted(p for p in self._tlb_cold if start_page <= p < end_page)
         for page_number in cold:
             self._fault_on_read(page_number)
         self.meter.charge(pages_read=count)

@@ -19,7 +19,7 @@ from repro.proc.registers import RegisterSet
 from repro.proc.thread import SimThread, ThreadState
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
 
-_pid_counter = itertools.count(1000)
+_pid_counter = itertools.count(1000)  # detlint: ignore[D005] unique-pid mint; pids are labels, never ordering inputs
 
 
 def _next_pid() -> int:

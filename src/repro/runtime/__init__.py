@@ -37,9 +37,9 @@ def build_runtime(profile, process, rng=None, *, wasm: bool = False):
         If true, host the function in the WebAssembly runtime model
         regardless of language (used by the FAASM baseline).
     """
-    import random
+    from repro.sim.rng import fallback_stream
 
-    rng = rng if rng is not None else random.Random(0)
+    rng = rng if rng is not None else fallback_stream("runtime")
     if wasm:
         return WasmRuntime(profile, process, rng)
     if profile.language is Language.C:

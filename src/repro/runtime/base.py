@@ -34,6 +34,7 @@ from repro.kernel.faults import FaultRecord
 from repro.mem.page import Protection
 from repro.mem.vma import Vma, VmaKind
 from repro.proc.process import ProcessState, SimProcess
+from repro.sim.rng import fallback_stream
 from repro.runtime.profiles import FunctionProfile, Language
 
 
@@ -92,7 +93,7 @@ class FunctionRuntime(abc.ABC):
     ) -> None:
         self.profile = profile
         self.process = process
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else fallback_stream("runtime")
         self._booted = False
         self._warmed = False
         self._invocations = 0

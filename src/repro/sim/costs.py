@@ -22,6 +22,7 @@ absolute values are in the right order of magnitude but are not the point.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.config import PAGE_SIZE
 
@@ -180,7 +181,7 @@ class CostModel:
         """
         if factor <= 0:
             raise ValueError("factor must be positive")
-        updates = {}
+        updates: Dict[str, float] = {}
         for name, value in self.__dict__.items():
             if name.endswith("_seconds"):
                 updates[name] = value * factor

@@ -9,13 +9,59 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from types import MappingProxyType
+from typing import Dict, Mapping
 
 
 def _derive_seed(master_seed: int, name: str) -> int:
     """Derive a stable 64-bit child seed from a master seed and stream name."""
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Documented fallback streams for components constructed *without* an
+#: injected RNG.  The seeds are the historical ad-hoc constants those
+#: components carried inline (``Container``'s ``random.Random(11)``,
+#: ``Controller``'s ``random.Random(31)``, …), hoisted here so every
+#: default stream is named, discoverable, and covered by the determinism
+#: lint's D002 expectations.  The values are load-bearing: changing one
+#: changes every simulation that relies on the component's default
+#: jitter sequence, so treat this table as append-only.
+FALLBACK_SEEDS: Mapping[str, int] = MappingProxyType({
+    #: Per-container execution jitter (``faas.container.Container``).
+    "faas.container": 11,
+    #: Controller platform-overhead jitter (``faas.controller.Controller``).
+    "faas.controller": 31,
+    #: Invoker-level jitter and derived per-container streams
+    #: (``faas.invoker.Invoker``).
+    "faas.invoker": 23,
+    #: Isolation-mechanism jitter when constructed bare
+    #: (``core.policy.IsolationMechanism``).
+    "core.policy": 7,
+    #: Runtime execution-time jitter (``runtime.base.FunctionRuntime`` and
+    #: ``runtime.build_runtime``).
+    "runtime": 0,
+    #: The CLI leak demo's mechanism stream (``cli.cmd_demo_leak``).
+    "cli.demo-leak": 1,
+})
+
+
+def fallback_stream(component: str) -> random.Random:
+    """Return the documented, deterministically seeded fallback stream.
+
+    ``component`` must name an entry in :data:`FALLBACK_SEEDS`.  Each call
+    returns a *fresh* generator so two components sharing a fallback name
+    never entangle their sequences — exactly the behaviour of the inline
+    ``random.Random(<constant>)`` fallbacks this replaces, bit for bit.
+    """
+    try:
+        seed = FALLBACK_SEEDS[component]
+    except KeyError:
+        raise ValueError(
+            f"unknown fallback stream {component!r}; "
+            f"known: {', '.join(sorted(FALLBACK_SEEDS))}"
+        ) from None
+    return random.Random(seed)
 
 
 class RngStreams:
@@ -48,6 +94,21 @@ class RngStreams:
         if stddev <= 0:
             return max(0.0, mean)
         return max(0.0, self.stream(name).gauss(mean, stddev))
+
+    def fallback(self, component: str) -> random.Random:
+        """The named fallback stream, derived under this factory's master seed.
+
+        Components normally receive :data:`FALLBACK_SEEDS`-seeded streams via
+        :func:`fallback_stream` when constructed bare; callers holding an
+        ``RngStreams`` should prefer this method so the component's draws
+        derive from the master seed like every other subsystem's.
+        """
+        if component not in FALLBACK_SEEDS:
+            raise ValueError(
+                f"unknown fallback stream {component!r}; "
+                f"known: {', '.join(sorted(FALLBACK_SEEDS))}"
+            )
+        return self.stream(f"fallback:{component}")
 
     def expovariate(self, name: str, rate: float) -> float:
         """Draw an exponential inter-arrival gap (seconds) at ``rate`` per second.

@@ -10,7 +10,8 @@ sensitive to having its clock rolled back (§5.3.1).
 
 from __future__ import annotations
 
-from typing import List
+from types import MappingProxyType
+from typing import List, Mapping, Tuple
 
 from repro.runtime.profiles import FunctionProfile, Language
 from repro.workloads.spec import BenchmarkSpec, PaperReference
@@ -18,16 +19,17 @@ from repro.workloads.spec import BenchmarkSpec, PaperReference
 #: name -> (base invoker ms, total Kpages, dirtied Kpages, paper restore ms,
 #:          paper GH invoker ms, paper base xput, paper GH xput, input bytes,
 #:          restore-triggered GC seconds)
-_PYTHON_DATA = {
+_ProfilerRow = Tuple[float, float, float, float, float, float, float, int, float]
+_PYTHON_DATA: Mapping[str, _ProfilerRow] = MappingProxyType({
     "get-time":  (2.9, 3.19, 0.18, 1.66, 4.1, 1038.74, 552.09, 128, 0.0),
     "sentiment": (6.5, 16.86, 0.57, 6.00, 8.9, 385.07, 230.39, 1024, 0.0),
     "json":      (9.9, 3.33, 0.87, 3.71, 13.0, 150.00, 135.34, 200_000, 0.0),
     "md2html":   (31.0, 4.93, 0.62, 4.25, 32.7, 93.94, 88.50, 8_192, 0.0),
     "base64":    (743.2, 5.13, 1.66, 7.67, 761.5, 5.18, 5.10, 65_536, 0.0),
     "primes":    (1829.7, 3.22, 0.53, 3.24, 1830.7, 2.04, 1.99, 64, 0.0),
-}
+})
 
-_NODE_DATA = {
+_NODE_DATA: Mapping[str, _ProfilerRow] = MappingProxyType({
     "get-time":     (3.7, 156.76, 0.64, 12.58, 6.4, 942.07, 133.45, 128, 0.0),
     "autocomplete": (3.8, 156.98, 0.92, 13.52, 6.3, 922.59, 121.98, 512, 0.0),
     "json":         (9.4, 156.78, 0.85, 13.02, 16.1, 159.09, 86.58, 200_000, 0.0),
@@ -35,11 +37,11 @@ _NODE_DATA = {
     "img-resize":   (445.3, 179.43, 18.05, 61.83, 721.7, 6.57, 4.10, 76_000, 0.26),
     "base64":       (644.0, 208.42, 53.83, 161.93, 715.1, 5.62, 4.34, 65_536, 0.0),
     "ocr-img":      (2491.7, 156.80, 1.08, 13.95, 2508.5, 1.53, 1.52, 32_768, 0.0),
-}
+})
 
 #: Members of the paper's 14-function representative subset.
-_REPRESENTATIVE_PY = {"get-time", "sentiment", "md2html"}
-_REPRESENTATIVE_NODE = {"autocomplete", "img-resize", "base64", "ocr-img"}
+_REPRESENTATIVE_PY = frozenset({"get-time", "sentiment", "md2html"})
+_REPRESENTATIVE_NODE = frozenset({"autocomplete", "img-resize", "base64", "ocr-img"})
 
 
 def _python_profile(name: str, row: tuple) -> FunctionProfile:

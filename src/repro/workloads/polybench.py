@@ -8,14 +8,16 @@ the compute time spans six orders of magnitude (jacobi-1d at ~4 ms to lu at
 
 from __future__ import annotations
 
-from typing import List
+from types import MappingProxyType
+from typing import List, Mapping, Tuple
 
 from repro.runtime.profiles import FunctionProfile, Language
 from repro.workloads.spec import BenchmarkSpec, PaperReference
 
 #: name -> (base invoker ms, total Kpages, dirtied Kpages, paper restore ms,
 #:          paper GH invoker ms, paper base throughput, paper GH throughput)
-_POLYBENCH_DATA = {
+_PolyRow = Tuple[float, float, float, float, float, float, float]
+_POLYBENCH_DATA: Mapping[str, _PolyRow] = MappingProxyType({
     "2mm":            (27236.2, 0.98, 0.02, 3.12, 28887.4, 0.12, 0.10),
     "3mm":            (45729.0, 0.98, 0.02, 2.32, 46824.4, 0.07, 0.06),
     "adi":            (28311.1, 0.98, 0.02, 0.77, 28857.6, 0.12, 0.12),
@@ -39,10 +41,10 @@ _POLYBENCH_DATA = {
     "nussinov":       (39122.6, 0.98, 0.02, 1.02, 38323.5, 0.09, 0.09),
     "seidel-2d":      (23140.1, 0.98, 0.02, 0.75, 23139.0, 0.16, 0.16),
     "trisolv":        (23.1, 0.98, 0.02, 0.97, 23.2, 138.18, 134.92),
-}
+})
 
 #: PolyBench members of the paper's 14-function representative subset.
-_REPRESENTATIVE = {"bicg", "heat-3d", "seidel-2d"}
+_REPRESENTATIVE = frozenset({"bicg", "heat-3d", "seidel-2d"})
 
 
 def _make_profile(name: str, row: tuple) -> FunctionProfile:

@@ -9,14 +9,16 @@ paper's measured Groundhog results are kept separately as
 
 from __future__ import annotations
 
-from typing import Dict, List
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Tuple
 
 from repro.runtime.profiles import FunctionProfile, Language
 from repro.workloads.spec import BenchmarkSpec, PaperReference
 
 #: name -> (base invoker ms, total Kpages, dirtied Kpages, paper restore ms,
 #:          paper GH invoker ms, paper base throughput, paper GH throughput)
-_PYPERFORMANCE_DATA = {
+_PyPerfRow = Tuple[float, float, float, float, float, float, float]
+_PYPERFORMANCE_DATA: Mapping[str, _PyPerfRow] = MappingProxyType({
     "chaos":      (648.5, 6.32, 0.47, 4.93, 652.0, 6.03, 5.94),
     "logging":    (228.0, 6.12, 0.41, 4.77, 227.9, 0.00, 16.34),
     "pyaes":      (4672.0, 6.21, 0.84, 6.02, 4751.3, 0.82, 0.80),
@@ -39,10 +41,10 @@ _PYPERFORMANCE_DATA = {
     "json_loads": (102.0, 6.12, 0.22, 4.04, 103.3, 36.46, 35.29),
     "pidigits":   (2347.6, 6.14, 0.81, 5.40, 2349.1, 1.64, 1.63),
     "scimark":    (1812.6, 3.26, 0.52, 3.77, 1806.6, 2.12, 2.12),
-}
+})
 
 #: Benchmarks that appear in the paper's 14-function representative subset.
-_REPRESENTATIVE = {"fannkuch", "telco", "pyflate", "mdp", "get-time"}
+_REPRESENTATIVE = frozenset({"fannkuch", "telco", "pyflate", "mdp", "get-time"})
 
 
 def _make_profile(name: str, row: tuple) -> FunctionProfile:

@@ -13,7 +13,7 @@ from repro.config import (
     pages_for_bytes,
 )
 from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
-from repro.sim.rng import RngStreams
+from repro.sim.rng import FALLBACK_SEEDS, RngStreams, fallback_stream
 
 
 class TestCostModel:
@@ -102,6 +102,52 @@ class TestRngStreams:
     def test_expovariate_rejects_nonpositive_rate(self):
         with pytest.raises(ValueError):
             RngStreams(9).expovariate("arrivals", 0.0)
+
+
+class TestFallbackStreams:
+    def test_seeds_are_the_historical_constants(self):
+        # Load-bearing: these are the exact inline seeds the components
+        # carried before the table existed.  Changing one silently changes
+        # every simulation relying on the component's default jitter.
+        assert dict(FALLBACK_SEEDS) == {
+            "faas.container": 11,
+            "faas.controller": 31,
+            "faas.invoker": 23,
+            "core.policy": 7,
+            "runtime": 0,
+            "cli.demo-leak": 1,
+        }
+
+    def test_fallback_stream_matches_inline_constant_bit_for_bit(self):
+        import random
+
+        for component, seed in FALLBACK_SEEDS.items():
+            expected = random.Random(seed)
+            got = fallback_stream(component)
+            assert [got.random() for _ in range(8)] == [
+                expected.random() for _ in range(8)
+            ], component
+
+    def test_fallback_stream_returns_fresh_generators(self):
+        a = fallback_stream("faas.container")
+        b = fallback_stream("faas.container")
+        assert a is not b
+        assert a.random() == b.random()
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="unknown fallback stream"):
+            fallback_stream("no.such.component")
+
+    def test_streams_factory_fallback_derives_from_master_seed(self):
+        streams = RngStreams(42)
+        derived = streams.fallback("faas.container")
+        assert derived is streams.stream("fallback:faas.container")
+        # Different master seeds give different fallback sequences...
+        other = RngStreams(43).fallback("faas.container")
+        assert derived.random() != other.random()
+        # ...and unknown names are still rejected.
+        with pytest.raises(ValueError, match="unknown fallback stream"):
+            streams.fallback("no.such.component")
 
 
 class TestSimulationConfig:
